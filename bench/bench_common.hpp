@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/table benchmark binaries.
+ *
+ * Every bench regenerates one artifact of the paper's evaluation: it runs
+ * the same sweep the figure reports, prints the series as an aligned
+ * table and writes a CSV next to the working directory. Simulation
+ * windows are scaled-down analogues of the paper's 100M/500M windows
+ * (see DESIGN.md §4); pass sim_scale=<f> on the command line to grow or
+ * shrink them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+#include "workloads/suites.hpp"
+
+namespace pythia::bench {
+
+/** Default measurement windows (instructions per core). */
+inline constexpr std::uint64_t kWarmup = 60'000;
+inline constexpr std::uint64_t kSim = 150'000;
+
+/** Scale factor from the command line (sim_scale=2 doubles windows). */
+inline double
+simScale(int argc, char** argv)
+{
+    Config cli;
+    cli.parseArgs(argc, argv);
+    return cli.getDouble("sim_scale", 1.0);
+}
+
+/** Build a single-core spec with the bench-standard windows. */
+inline harness::ExperimentSpec
+spec1c(const std::string& workload, const std::string& pf,
+       double scale = 1.0)
+{
+    harness::ExperimentSpec spec;
+    spec.workload = workload;
+    spec.prefetcher = pf;
+    spec.warmup_instrs = static_cast<std::uint64_t>(kWarmup * scale);
+    spec.sim_instrs = static_cast<std::uint64_t>(kSim * scale);
+    return spec;
+}
+
+/** A representative cross-section of the catalog (one workload per
+ *  pattern class per suite) used by the expensive multi-config sweeps. */
+inline const std::vector<std::string>&
+representativeWorkloads()
+{
+    static const std::vector<std::string> w = {
+        "462.libquantum-1343B", // SPEC06 stream
+        "459.GemsFDTD-765B",    // SPEC06 delta chain
+        "482.sphinx3-417B",     // SPEC06 spatial
+        "429.mcf-184B",         // SPEC06 irregular
+        "PARSEC-Canneal",       // PARSEC spatial
+        "Ligra-PageRank",       // Ligra graph
+        "Ligra-CC",             // Ligra graph (bandwidth-hungry)
+        "Cloudsuite-Cassandra", // Cloudsuite phase mix
+    };
+    return w;
+}
+
+/** Geomean speedup of @p pf over the baseline across @p workloads. */
+inline double
+geomeanSpeedup(harness::Runner& runner,
+               const std::vector<std::string>& workloads,
+               const std::string& pf,
+               const std::function<void(harness::ExperimentSpec&)>& tweak =
+                   {},
+               double scale = 1.0)
+{
+    std::vector<double> speedups;
+    for (const auto& w : workloads) {
+        harness::ExperimentSpec spec = spec1c(w, pf, scale);
+        if (tweak)
+            tweak(spec);
+        speedups.push_back(
+            std::max(1e-6, runner.evaluate(spec).metrics.speedup));
+    }
+    return geomean(speedups);
+}
+
+/** Emit the table to stdout and CSV (named after the bench binary). */
+inline void
+finish(Table& table, const std::string& csv_name)
+{
+    table.print();
+    const std::string path = csv_name + ".csv";
+    if (table.writeCsv(path))
+        std::cout << "[csv written: " << path << "]\n";
+}
+
+} // namespace pythia::bench

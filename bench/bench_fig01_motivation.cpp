@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Fig. 1: coverage, overprediction and IPC improvement of SPP,
+ * Bingo and Pythia on the six motivating example workloads.
+ *
+ * Paper shape to check: Bingo beats SPP on sphinx3 / Canneal / Facesim
+ * (region footprints); SPP beats Bingo on GemsFDTD (in-page deltas);
+ * overpredicting prefetchers lose performance on Ligra-CC (bandwidth).
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+
+    const std::vector<std::string> workloads = {
+        "482.sphinx3-417B", "PARSEC-Canneal",  "PARSEC-Facesim",
+        "459.GemsFDTD-765B", "Ligra-CC",       "Ligra-PageRankDelta"};
+    const std::vector<std::string> prefetchers = {"spp", "bingo",
+                                                  "pythia"};
+
+    harness::Runner runner;
+    Table table("Fig.1 — motivation: coverage / overprediction / IPC");
+    table.setHeader({"workload", "prefetcher", "coverage", "overpred",
+                     "ipc_improvement"});
+    for (const auto& w : workloads) {
+        for (const auto& pf : prefetchers) {
+            const auto o = runner.evaluate(bench::spec1c(w, pf, scale));
+            table.addRow({w, pf, Table::pct(o.metrics.coverage),
+                          Table::pct(o.metrics.overprediction),
+                          Table::pct(o.metrics.speedup - 1.0)});
+        }
+    }
+    bench::finish(table, "fig01_motivation");
+    return 0;
+}

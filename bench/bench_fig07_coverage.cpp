@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Fig. 7: per-suite prefetch coverage and overprediction of
+ * SPP, Bingo, MLOP and Pythia at the LLC / main-memory boundary in the
+ * single-core system, plus the all-suite average.
+ *
+ * Paper shape: Pythia has coverage at least comparable to the baselines
+ * while generating far fewer overpredictions than MLOP and Bingo.
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
+                                                  "pythia"};
+
+    harness::Runner runner;
+    Table table("Fig.7 — coverage & overprediction per suite (1C)");
+    table.setHeader(
+        {"suite", "prefetcher", "coverage", "overprediction"});
+
+    std::map<std::string, std::vector<harness::Metrics>> all;
+    for (const auto& suite : wl::suiteNames()) {
+        for (const auto& pf : prefetchers) {
+            double cov = 0.0, over = 0.0;
+            int n = 0;
+            for (const auto* w : wl::suiteWorkloads(suite)) {
+                const auto o =
+                    runner.evaluate(bench::spec1c(w->name, pf, scale));
+                cov += o.metrics.coverage;
+                over += o.metrics.overprediction;
+                all[pf].push_back(o.metrics);
+                ++n;
+            }
+            table.addRow({suite, pf, Table::pct(cov / n),
+                          Table::pct(over / n)});
+        }
+    }
+    for (const auto& pf : prefetchers) {
+        double cov = 0.0, over = 0.0;
+        for (const auto& m : all[pf]) {
+            cov += m.coverage;
+            over += m.overprediction;
+        }
+        const double n = static_cast<double>(all[pf].size());
+        table.addRow({"AVG", pf, Table::pct(cov / n),
+                      Table::pct(over / n)});
+    }
+    bench::finish(table, "fig07_coverage");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Fig. 8(d): multi-level prefetching schemes under DRAM
+ * bandwidth scaling — stride(L1)+streamer(L2) as in commercial parts,
+ * IPCP, and stride(L1)+Pythia(L2).
+ *
+ * Paper shape: Stride+Pythia leads at every bandwidth point, with the
+ * largest margin in the most constrained configuration.
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const std::vector<std::uint32_t> mtps_points = {150, 300,  600, 1200,
+                                                    2400, 4800, 9600};
+    struct Scheme
+    {
+        const char* label;
+        const char* l1;
+        const char* l2;
+    };
+    const std::vector<Scheme> schemes = {
+        {"stride+streamer", "stride", "streamer"},
+        {"ipcp", "none", "ipcp"},
+        {"stride+pythia", "stride", "pythia"},
+    };
+    const auto& workloads = bench::representativeWorkloads();
+
+    harness::Runner runner;
+    Table table("Fig.8(d) — multi-level schemes vs DRAM MTPS (1C)");
+    std::vector<std::string> header = {"mtps"};
+    for (const auto& s : schemes)
+        header.push_back(s.label);
+    table.setHeader(header);
+
+    for (std::uint32_t mtps : mtps_points) {
+        std::vector<std::string> row = {std::to_string(mtps)};
+        for (const auto& scheme : schemes) {
+            const double g = bench::geomeanSpeedup(
+                runner, workloads, scheme.l2,
+                [&](harness::ExperimentSpec& s) {
+                    s.mtps = mtps;
+                    s.l1_prefetcher = scheme.l1;
+                },
+                scale);
+            row.push_back(Table::fmt(g));
+        }
+        table.addRow(row);
+    }
+    bench::finish(table, "fig08d_multilevel");
+    return 0;
+}

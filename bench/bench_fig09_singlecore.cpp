@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 9: (a) per-suite geomean speedup of SPP, Bingo, MLOP
+ * and Pythia in the single-core system across the whole catalog, and
+ * (b) Pythia against the cumulative prefetcher stacks
+ * St, St+SPP, +Bingo, +DSPatch, +MLOP.
+ *
+ * Paper shape: Pythia leads the overall geomean and beats the full
+ * combination while using less than half its storage.
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
+                                                  "pythia"};
+
+    harness::Runner runner;
+    Table a("Fig.9(a) — per-suite geomean speedup (1C)");
+    std::vector<std::string> header = {"suite"};
+    for (const auto& pf : prefetchers)
+        header.push_back(pf);
+    a.setHeader(header);
+
+    std::map<std::string, std::vector<double>> overall;
+    for (const auto& suite : wl::suiteNames()) {
+        std::vector<std::string> row = {suite};
+        for (const auto& pf : prefetchers) {
+            std::vector<double> speedups;
+            for (const auto* w : wl::suiteWorkloads(suite)) {
+                const auto o =
+                    runner.evaluate(bench::spec1c(w->name, pf, scale));
+                speedups.push_back(std::max(1e-6, o.metrics.speedup));
+                overall[pf].push_back(speedups.back());
+            }
+            row.push_back(Table::fmt(geomean(speedups)));
+        }
+        a.addRow(row);
+    }
+    std::vector<std::string> row = {"GEOMEAN"};
+    for (const auto& pf : prefetchers)
+        row.push_back(Table::fmt(geomean(overall[pf])));
+    a.addRow(row);
+    bench::finish(a, "fig09a_singlecore");
+
+    Table b("Fig.9(b) — Pythia vs cumulative prefetcher stacks (1C)");
+    b.setHeader({"prefetcher", "geomean_speedup", "storage_kb"});
+    std::vector<std::string> all_names;
+    for (const auto& w : wl::allWorkloads())
+        all_names.push_back(w.name);
+    for (const char* pf : {"st", "st_s", "st_s_b", "st_s_b_d",
+                           "st_s_b_d_m", "pythia"}) {
+        const double g =
+            bench::geomeanSpeedup(runner, all_names, pf, {}, scale);
+        const auto built = harness::makePrefetcher(pf);
+        b.addRow({pf, Table::fmt(g),
+                  Table::fmt(built->storageBytes() / 1024.0, 1)});
+    }
+    bench::finish(b, "fig09b_combinations");
+    return 0;
+}

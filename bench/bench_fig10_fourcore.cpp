@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Fig. 10: (a) per-suite geomean speedup in the four-core
+ * system (homogeneous mixes plus a heterogeneous Mix row) and (b) the
+ * prefetcher-combination comparison at four cores.
+ *
+ * Paper shape: Pythia's margin grows versus single-core; stacking more
+ * prefetchers *hurts* at four cores (additive overpredictions under a
+ * shared bandwidth budget) while Pythia stays on top.
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
+                                                  "pythia"};
+    // One representative workload per suite (4-core runs are 4x the work).
+    const std::vector<std::pair<std::string, std::string>> picks = {
+        {"SPEC06", "459.GemsFDTD-765B"},
+        {"SPEC06", "482.sphinx3-417B"},
+        {"SPEC17", "605.mcf_s-665B"},
+        {"PARSEC", "PARSEC-Canneal"},
+        {"Ligra", "Ligra-PageRank"},
+        {"Cloudsuite", "Cloudsuite-Cassandra"},
+    };
+
+    auto four_core = [&](harness::ExperimentSpec& s) {
+        s.num_cores = 4;
+        s.warmup_instrs /= 2;
+        s.sim_instrs /= 2;
+    };
+
+    harness::Runner runner;
+    Table a("Fig.10(a) — per-suite geomean speedup (4C)");
+    std::vector<std::string> header = {"suite/mix"};
+    for (const auto& pf : prefetchers)
+        header.push_back(pf);
+    a.setHeader(header);
+
+    std::map<std::string, std::vector<double>> overall;
+    std::map<std::string, std::vector<double>> by_suite_speedup;
+    for (const auto& [suite, workload] : picks) {
+        std::vector<std::string> row = {suite + "/" + workload};
+        for (const auto& pf : prefetchers) {
+            harness::ExperimentSpec spec = bench::spec1c(workload, pf,
+                                                         scale);
+            four_core(spec);
+            const auto o = runner.evaluate(spec);
+            row.push_back(Table::fmt(o.metrics.speedup));
+            overall[pf].push_back(std::max(1e-6, o.metrics.speedup));
+        }
+        a.addRow(row);
+    }
+    // Heterogeneous mix row.
+    {
+        std::vector<std::string> row = {"Mix(hetero)"};
+        for (const auto& pf : prefetchers) {
+            harness::ExperimentSpec spec;
+            spec.prefetcher = pf;
+            spec.num_cores = 4;
+            spec.mix = {"462.libquantum-1343B", "429.mcf-184B",
+                        "PARSEC-Canneal", "Ligra-CC"};
+            spec.warmup_instrs =
+                static_cast<std::uint64_t>(bench::kWarmup * scale / 2);
+            spec.sim_instrs =
+                static_cast<std::uint64_t>(bench::kSim * scale / 2);
+            const auto o = runner.evaluate(spec);
+            row.push_back(Table::fmt(o.metrics.speedup));
+            overall[pf].push_back(std::max(1e-6, o.metrics.speedup));
+        }
+        a.addRow(row);
+    }
+    std::vector<std::string> grow = {"GEOMEAN"};
+    for (const auto& pf : prefetchers)
+        grow.push_back(Table::fmt(geomean(overall[pf])));
+    a.addRow(grow);
+    bench::finish(a, "fig10a_fourcore");
+
+    Table b("Fig.10(b) — Pythia vs prefetcher stacks (4C)");
+    b.setHeader({"prefetcher", "geomean_speedup"});
+    std::vector<std::string> workloads;
+    for (const auto& [suite, w] : picks)
+        workloads.push_back(w);
+    for (const char* pf : {"st", "st_s", "st_s_b", "st_s_b_d",
+                           "st_s_b_d_m", "pythia"}) {
+        const double g = bench::geomeanSpeedup(runner, workloads, pf,
+                                               four_core, scale);
+        b.addRow({pf, Table::fmt(g)});
+    }
+    bench::finish(b, "fig10b_combinations");
+    return 0;
+}

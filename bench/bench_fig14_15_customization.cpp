@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Fig. 14 and Fig. 15: reward-level customization for graph
+ * processing. Fig. 14 shows, for Ligra-CC, the fraction of runtime spent
+ * in each DRAM bandwidth-utilization bucket plus the IPC improvement of
+ * each prefetcher; Fig. 15 compares basic vs strict Pythia across the
+ * whole Ligra suite.
+ *
+ * Paper shape: overpredicting prefetchers push the system into the high
+ * bandwidth buckets and lose performance; strict Pythia (harsher R_IN,
+ * neutral R_NP) adds performance on top of basic with no hardware
+ * change.
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+
+    harness::Runner runner;
+    Table f14("Fig.14 — Ligra-CC bandwidth buckets & performance");
+    f14.setHeader({"prefetcher", "<25%", "25-50%", "50-75%", ">=75%",
+                   "ipc_improvement"});
+    for (const char* pf : {"none", "spp", "bingo", "mlop", "pythia",
+                           "pythia_strict"}) {
+        const auto o =
+            runner.evaluate(bench::spec1c("Ligra-CC", pf, scale));
+        const auto& b = o.run.dram_buckets;
+        f14.addRow({pf, Table::pct(b[0]), Table::pct(b[1]),
+                    Table::pct(b[2]), Table::pct(b[3]),
+                    Table::pct(o.metrics.speedup - 1.0)});
+    }
+    bench::finish(f14, "fig14_ligra_cc");
+
+    Table f15("Fig.15 — basic vs strict Pythia on the Ligra suite");
+    f15.setHeader({"workload", "basic", "strict", "delta"});
+    std::vector<double> basics, stricts;
+    for (const auto* w : wl::suiteWorkloads("Ligra")) {
+        const auto basic =
+            runner.evaluate(bench::spec1c(w->name, "pythia", scale));
+        const auto strict = runner.evaluate(
+            bench::spec1c(w->name, "pythia_strict", scale));
+        basics.push_back(std::max(1e-6, basic.metrics.speedup));
+        stricts.push_back(std::max(1e-6, strict.metrics.speedup));
+        f15.addRow({w->name, Table::fmt(basic.metrics.speedup),
+                    Table::fmt(strict.metrics.speedup),
+                    Table::pct(strict.metrics.speedup /
+                                   basic.metrics.speedup - 1.0)});
+    }
+    f15.addRow({"GEOMEAN", Table::fmt(geomean(basics)),
+                Table::fmt(geomean(stricts)),
+                Table::pct(geomean(stricts) / geomean(basics) - 1.0)});
+    bench::finish(f15, "fig15_strict_pythia");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Fig. 16: feature-optimized Pythia on the SPEC06-like suite.
+ * For every workload, a small set of candidate feature pairs is tried
+ * and the best is compared against the basic configuration.
+ *
+ * Paper shape: per-workload feature selection adds up to a few percent
+ * on top of basic Pythia, without any hardware change.
+ */
+#include "bench_common.hpp"
+
+#include "core/configs.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    using rl::ControlKind;
+    using rl::DataKind;
+    using rl::FeatureSpec;
+    const double scale = bench::simScale(argc, argv);
+
+    // Candidate state vectors (a cross-section of the 32-feature space).
+    const std::vector<std::vector<FeatureSpec>> candidates = {
+        rl::basicFeatureSpecs(),
+        {{ControlKind::Pc, DataKind::Delta}},
+        {{ControlKind::None, DataKind::Last4Deltas}},
+        {{ControlKind::Pc, DataKind::PageOffset},
+         {ControlKind::None, DataKind::Last4Offsets}},
+        {{ControlKind::Pc, DataKind::Delta},
+         {ControlKind::PcPath3, DataKind::PageOffset}},
+        {{ControlKind::None, DataKind::OffsetXorDelta},
+         {ControlKind::None, DataKind::Last4Deltas}},
+    };
+
+    harness::Runner runner;
+    Table table("Fig.16 — basic vs feature-optimized Pythia (SPEC06)");
+    table.setHeader({"workload", "basic", "optimized", "best_features",
+                     "delta"});
+    std::vector<double> basics, opts;
+    for (const auto* w : wl::suiteWorkloads("SPEC06")) {
+        const auto basic =
+            runner.evaluate(bench::spec1c(w->name, "pythia", scale));
+        double best = basic.metrics.speedup;
+        std::string best_name = "basic";
+        for (const auto& features : candidates) {
+            harness::ExperimentSpec spec =
+                bench::spec1c(w->name, "pythia_custom", scale);
+            auto cfg = rl::scaledForSimLength(
+                rl::withFeatures(rl::basicPythiaConfig(), features));
+            spec.pythia_cfg = cfg;
+            const auto o = runner.evaluate(spec);
+            if (o.metrics.speedup > best) {
+                best = o.metrics.speedup;
+                best_name = cfg.name;
+            }
+        }
+        basics.push_back(std::max(1e-6, basic.metrics.speedup));
+        opts.push_back(std::max(1e-6, best));
+        table.addRow({w->name, Table::fmt(basic.metrics.speedup),
+                      Table::fmt(best), best_name,
+                      Table::pct(best / basic.metrics.speedup - 1.0)});
+    }
+    table.addRow({"GEOMEAN", Table::fmt(geomean(basics)),
+                  Table::fmt(geomean(opts)), "-",
+                  Table::pct(geomean(opts) / geomean(basics) - 1.0)});
+    bench::finish(table, "fig16_features");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Fig. 17/18: the per-trace performance line graphs (s-curve)
+ * of SPP, Bingo, MLOP and Pythia — single-core over the full catalog and
+ * four-core over the representative set — sorted by Pythia's speedup.
+ *
+ * Paper shape: Pythia improves on the baseline almost everywhere, with
+ * the largest wins on irregular traces and the known loss cases on
+ * heavy streamers (where Bingo's full-region prefetch is unbeatable).
+ */
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
+                                                  "pythia"};
+
+    harness::Runner runner;
+
+    struct Row
+    {
+        std::string workload;
+        std::map<std::string, double> speedup;
+    };
+
+    auto build = [&](const std::vector<std::string>& workloads,
+                     std::uint32_t cores, const std::string& tag) {
+        std::vector<Row> rows;
+        for (const auto& w : workloads) {
+            Row r;
+            r.workload = w;
+            for (const auto& pf : prefetchers) {
+                harness::ExperimentSpec spec = bench::spec1c(w, pf, scale);
+                spec.num_cores = cores;
+                if (cores > 1) {
+                    spec.warmup_instrs /= 2;
+                    spec.sim_instrs /= 2;
+                }
+                r.speedup[pf] = runner.evaluate(spec).metrics.speedup;
+            }
+            rows.push_back(std::move(r));
+        }
+        std::sort(rows.begin(), rows.end(),
+                  [](const Row& a, const Row& b) {
+                      return a.speedup.at("pythia") <
+                             b.speedup.at("pythia");
+                  });
+        Table table("Fig." + tag + " — per-trace speedups (" +
+                    std::to_string(cores) + "C, sorted by Pythia)");
+        std::vector<std::string> header = {"workload"};
+        for (const auto& pf : prefetchers)
+            header.push_back(pf);
+        table.setHeader(header);
+        for (const auto& r : rows) {
+            std::vector<std::string> cells = {r.workload};
+            for (const auto& pf : prefetchers)
+                cells.push_back(Table::fmt(r.speedup.at(pf)));
+            table.addRow(cells);
+        }
+        bench::finish(table, "fig" + tag + "_scurve_" +
+                                 std::to_string(cores) + "c");
+    };
+
+    std::vector<std::string> all_names;
+    for (const auto& w : wl::allWorkloads())
+        all_names.push_back(w.name);
+    build(all_names, 1, "17");
+    build(bench::representativeWorkloads(), 4, "18");
+    return 0;
+}

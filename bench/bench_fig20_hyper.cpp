@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig. 20 (Appendix B.3): Pythia's sensitivity to the
+ * exploration rate (epsilon) and the learning rate (alpha).
+ *
+ * Paper shape: performance collapses as epsilon approaches 1 (the agent
+ * acts randomly) and degrades at both extremes of alpha. Note that the
+ * optimum sits at larger values than the paper's (alpha=0.0065,
+ * eps=0.002) because our simulation windows are ~1000x shorter — the
+ * *shape* of both curves is the reproduction target (DESIGN.md §4).
+ */
+#include "bench_common.hpp"
+
+#include "core/configs.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const auto& workloads = bench::representativeWorkloads();
+    harness::Runner runner;
+
+    auto sweep = [&](const std::string& label,
+                     const std::vector<double>& values,
+                     auto apply) {
+        Table table("Fig.20 — sensitivity to " + label);
+        table.setHeader({label, "geomean_speedup"});
+        for (double v : values) {
+            auto cfg = rl::scaledForSimLength(rl::basicPythiaConfig());
+            apply(cfg, v);
+            std::vector<double> speedups;
+            for (const auto& w : workloads) {
+                harness::ExperimentSpec spec =
+                    bench::spec1c(w, "pythia_custom", scale);
+                spec.pythia_cfg = cfg;
+                speedups.push_back(std::max(
+                    1e-6, runner.evaluate(spec).metrics.speedup));
+            }
+            table.addRow({Table::fmt(v, 6),
+                          Table::fmt(geomean(speedups))});
+        }
+        bench::finish(table, "fig20_" + label);
+    };
+
+    sweep("epsilon", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 1.0},
+          [](rl::PythiaConfig& cfg, double v) { cfg.epsilon = v; });
+    sweep("alpha", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 1.0},
+          [](rl::PythiaConfig& cfg, double v) { cfg.alpha = v; });
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Fig. 23 (Appendix B.6): sensitivity of every prefetcher to
+ * the number of warmup instructions, from zero warmup upward.
+ *
+ * Paper shape: Pythia learns online quickly enough that its ranking is
+ * stable across warmup lengths, including no warmup at all.
+ */
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    const double scale = bench::simScale(argc, argv);
+    const std::vector<std::uint64_t> warmups = {0, 5'000, 15'000, 30'000,
+                                                60'000, 120'000};
+    const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
+                                                  "pythia"};
+    const auto& workloads = bench::representativeWorkloads();
+
+    harness::Runner runner;
+    Table table("Fig.23 — sensitivity to warmup length (1C)");
+    std::vector<std::string> header = {"warmup_instrs"};
+    for (const auto& pf : prefetchers)
+        header.push_back(pf);
+    table.setHeader(header);
+
+    for (std::uint64_t warmup : warmups) {
+        std::vector<std::string> row = {std::to_string(warmup)};
+        for (const auto& pf : prefetchers) {
+            const double g = bench::geomeanSpeedup(
+                runner, workloads, pf,
+                [warmup](harness::ExperimentSpec& s) {
+                    s.warmup_instrs = warmup;
+                },
+                scale);
+            row.push_back(Table::fmt(g));
+        }
+        table.addRow(row);
+    }
+    bench::finish(table, "fig23_warmup");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Microbenchmarks of Pythia's hardware critical paths (google-benchmark):
+ * QVStore search (the pipelined Stage 0-4 operation of §4.2.2), SARSA
+ * update, EQ search, and feature extraction. These correspond to the
+ * latency/throughput concerns the paper addresses with the pipelined
+ * QVStore organization.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/agent.hpp"
+#include "core/configs.hpp"
+#include "core/eq.hpp"
+#include "core/feature.hpp"
+#include "core/qvstore.hpp"
+
+namespace {
+
+using namespace pythia;
+
+rl::QVStoreConfig
+qvCfg()
+{
+    rl::QVStoreConfig cfg;
+    cfg.num_features = 2;
+    cfg.num_planes = 3;
+    cfg.plane_index_bits = 7;
+    cfg.num_actions = 16;
+    return cfg;
+}
+
+void
+BM_QVStoreMaxActionSearch(benchmark::State& state)
+{
+    rl::QVStore qv(qvCfg());
+    std::vector<std::uint64_t> s = {0x1234, 0x5678};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        s[0] = 0x1234 + i;
+        s[1] = 0x5678 + i * 3;
+        benchmark::DoNotOptimize(qv.maxAction(s));
+        ++i;
+    }
+}
+BENCHMARK(BM_QVStoreMaxActionSearch);
+
+void
+BM_QVStoreSarsaUpdate(benchmark::State& state)
+{
+    rl::QVStore qv(qvCfg());
+    std::vector<std::uint64_t> s1 = {1, 2}, s2 = {3, 4};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        s1[0] = i;
+        s2[0] = i + 1;
+        qv.update(s1, static_cast<std::uint32_t>(i % 16), 12.0, s2,
+                  static_cast<std::uint32_t>((i + 1) % 16));
+        ++i;
+    }
+}
+BENCHMARK(BM_QVStoreSarsaUpdate);
+
+void
+BM_EqSearch(benchmark::State& state)
+{
+    rl::EvaluationQueue eq(256);
+    for (Addr b = 0; b < 256; ++b) {
+        rl::EqEntry e;
+        e.state = {b, b};
+        e.prefetch_block = 0x1000 + b;
+        e.has_prefetch = true;
+        eq.insert(std::move(e));
+    }
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eq.search(0x1000 + (i % 512)));
+        ++i;
+    }
+}
+BENCHMARK(BM_EqSearch);
+
+void
+BM_FeatureExtraction(benchmark::State& state)
+{
+    rl::FeatureExtractor fx;
+    const auto specs = rl::basicFeatureSpecs();
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        fx.observe(0x400 + (i % 7) * 0x40, (1ull << 20) + i % 64);
+        benchmark::DoNotOptimize(fx.extractAll(specs));
+        ++i;
+    }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void
+BM_AgentTrainStep(benchmark::State& state)
+{
+    rl::PythiaPrefetcher agent(rl::basicPythiaConfig());
+    std::vector<sim::PrefetchRequest> out;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        sim::PrefetchAccess a;
+        a.pc = 0x400 + (i % 5) * 0x40;
+        a.block = (1ull << 20) + (i % 4096);
+        a.cycle = i * 10;
+        agent.train(a, out);
+        ++i;
+    }
+}
+BENCHMARK(BM_AgentTrainStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

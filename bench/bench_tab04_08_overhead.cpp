@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table 4 (Pythia's storage breakdown) and Table 8 (area and
+ * power overhead against three Skylake-class reference processors),
+ * plus the Table 7 storage comparison of all evaluated prefetchers.
+ *
+ * Storage is exact structural accounting; area/power are scaled from the
+ * paper's published 14nm synthesis anchor (see DESIGN.md §4).
+ */
+#include "bench_common.hpp"
+
+#include "core/configs.hpp"
+#include "core/storage_model.hpp"
+
+int
+main(int, char**)
+{
+    using namespace pythia;
+
+    const auto cfg = rl::basicPythiaConfig();
+    const auto storage = rl::computeStorage(cfg);
+
+    Table t4("Table 4 — Pythia storage breakdown");
+    t4.setHeader({"structure", "bytes", "kb"});
+    t4.addRow({"QVStore", std::to_string(storage.qvstore_bytes),
+               Table::fmt(storage.qvstore_bytes / 1024.0, 1)});
+    t4.addRow({"EQ (" + std::to_string(cfg.eq_size) + " x " +
+                   std::to_string(storage.eq_entry_bits) + "b)",
+               std::to_string(storage.eq_bytes),
+               Table::fmt(storage.eq_bytes / 1024.0, 1)});
+    t4.addRow({"Total", std::to_string(storage.total_bytes),
+               Table::fmt(storage.total_bytes / 1024.0, 1)});
+    bench::finish(t4, "tab04_storage");
+
+    Table t7("Table 7 — metadata budgets of evaluated prefetchers");
+    t7.setHeader({"prefetcher", "kb"});
+    for (const char* pf : {"spp", "bingo", "mlop", "dspatch", "spp_ppf",
+                           "pythia"}) {
+        const auto built = harness::makePrefetcher(pf);
+        t7.addRow({pf, Table::fmt(built->storageBytes() / 1024.0, 1)});
+    }
+    bench::finish(t7, "tab07_budgets");
+
+    const auto overhead = rl::estimateOverhead(storage);
+    Table t8("Table 8 — modelled area & power overhead");
+    t8.setHeader({"reference processor", "area_overhead",
+                  "power_overhead"});
+    std::size_t n = 0;
+    const auto* refs = rl::referenceProcessors(&n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double area =
+            overhead.area_overhead(refs[i].die_area_mm2) * refs[i].cores;
+        const double power =
+            overhead.power_overhead(refs[i].tdp_w) * refs[i].cores;
+        t8.addRow({refs[i].name, Table::pct(area, 2),
+                   Table::pct(power, 2)});
+    }
+    std::cout << "Per-core Pythia: "
+              << Table::fmt(overhead.area_mm2, 2) << " mm^2, "
+              << Table::fmt(overhead.power_mw, 2) << " mW (modelled)\n";
+    bench::finish(t8, "tab08_overhead");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Agent introspection: run Pythia on one workload and dump what the agent
+ * learned — action/reward distributions and the per-action Q-values of
+ * the most recent state. This is the repository's analogue of the
+ * paper's §6.5 case-study methodology.
+ *
+ * Usage: agent_introspection [workload=<name>] [mtps=<n>] [strict=0|1]
+ */
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/configs.hpp"
+#include "harness/runner.hpp"
+#include "sim/system.hpp"
+#include "workloads/suites.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+
+    Config cli;
+    cli.parseArgs(argc, argv);
+    const std::string workload =
+        cli.getString("workload", "462.libquantum-1343B");
+    const auto mtps = static_cast<std::uint32_t>(cli.getInt("mtps", 2400));
+    const bool strict = cli.getBool("strict", false);
+
+    harness::ExperimentSpec spec;
+    spec.workload = workload;
+    spec.mtps = mtps;
+
+    // Build the system by hand so we keep a handle on the agent.
+    auto cfg = rl::scaledForSimLength(
+        strict ? rl::strictPythiaConfig() : rl::basicPythiaConfig());
+    auto agent = std::make_unique<rl::PythiaPrefetcher>(cfg);
+    auto* agent_ptr = agent.get();
+
+    sim::System system(harness::systemConfigFor(spec),
+                       harness::workloadsFor(spec));
+    system.attachL2Prefetcher(0, std::move(agent));
+    system.warmup(spec.warmup_instrs);
+    const sim::RunResult run = system.run(spec.sim_instrs);
+
+    std::cout << "workload=" << workload << " IPC="
+              << Table::fmt(run.ipc_geomean) << "\n";
+
+    Table stats("Agent statistics");
+    stats.setHeader({"counter", "value"});
+    for (const auto& [k, v] : agent_ptr->agentStats().counters())
+        stats.addRow({k, std::to_string(v)});
+    stats.print();
+
+    // Q-values of the last observed state, per action.
+    const auto state =
+        agent_ptr->extractor().extractAll(agent_ptr->config().features);
+    Table qtable("Q-values of the final state");
+    qtable.setHeader({"offset", "Q"});
+    for (std::size_t a = 0; a < agent_ptr->config().actions.size(); ++a) {
+        qtable.addRow(
+            {std::to_string(agent_ptr->config().actions[a]),
+             Table::fmt(agent_ptr->qvstore().q(
+                 state, static_cast<std::uint32_t>(a)))});
+    }
+    qtable.print();
+    return 0;
+}

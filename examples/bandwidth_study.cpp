@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bandwidth study: demonstrates Pythia's system-awareness on a
+ * bandwidth-hungry graph workload. Sweeps the DRAM transfer rate from a
+ * server-like share (150 MTPS per core) to an overprovisioned 9600 MTPS
+ * and compares basic Pythia, the bandwidth-oblivious ablation and an
+ * aggressive spatial baseline (Bingo).
+ *
+ * Usage: bandwidth_study [workload=<name>]
+ */
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+    Config cli;
+    cli.parseArgs(argc, argv);
+    const std::string workload =
+        cli.getString("workload", "Ligra-PageRank");
+
+    harness::Runner runner;
+    Table table("Bandwidth study: " + workload);
+    table.setHeader({"mtps", "bingo", "pythia", "pythia_bwobl",
+                     "pythia_dram_util"});
+    for (std::uint32_t mtps : {150u, 300u, 600u, 1200u, 2400u, 9600u}) {
+        std::vector<std::string> row = {std::to_string(mtps)};
+        double util = 0.0;
+        for (const char* pf : {"bingo", "pythia", "pythia_bwobl"}) {
+            harness::ExperimentSpec spec;
+            spec.workload = workload;
+            spec.prefetcher = pf;
+            spec.mtps = mtps;
+            const auto o = runner.evaluate(spec);
+            row.push_back(Table::fmt(o.metrics.speedup));
+            if (std::string(pf) == "pythia")
+                util = o.run.dram_utilization;
+        }
+        row.push_back(Table::pct(util));
+        table.addRow(row);
+    }
+    table.print();
+    std::cout << "\nBasic Pythia throttles itself when the bus is scarce"
+                 " (R_IN^H / R_NP^H rewards); the oblivious variant and"
+                 " aggressive spatial prefetching pay for overprediction"
+                 " at low MTPS.\n";
+    return 0;
+}

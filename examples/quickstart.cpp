@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: simulate one workload with no prefetcher, a classic
+ * baseline (SPP) and Pythia, and print the paper's headline metrics
+ * (speedup, coverage, overprediction, accuracy).
+ *
+ * Usage: quickstart [workload=<name>] [prefetcher=<name>] [mtps=<n>]
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+#include "workloads/suites.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pythia;
+
+    Config cli;
+    cli.parseArgs(argc, argv);
+    const std::string workload =
+        cli.getString("workload", "459.GemsFDTD-765B");
+    const std::uint32_t mtps =
+        static_cast<std::uint32_t>(cli.getInt("mtps", 2400));
+
+    std::cout << "Pythia quickstart: workload=" << workload
+              << " mtps=" << mtps << "\n";
+
+    harness::Runner runner;
+    Table table("Quickstart: " + workload);
+    table.setHeader({"prefetcher", "IPC", "speedup", "coverage",
+                     "overpred", "accuracy"});
+
+    const std::vector<std::string> prefetchers =
+        cli.has("prefetcher")
+            ? std::vector<std::string>{cli.getString("prefetcher")}
+            : std::vector<std::string>{"spp", "bingo", "mlop", "pythia"};
+
+    for (const auto& pf : prefetchers) {
+        harness::ExperimentSpec spec;
+        spec.workload = workload;
+        spec.prefetcher = pf;
+        spec.mtps = mtps;
+        const auto outcome = runner.evaluate(spec);
+        table.addRow({pf, Table::fmt(outcome.run.ipc_geomean),
+                      Table::fmt(outcome.metrics.speedup),
+                      Table::pct(outcome.metrics.coverage),
+                      Table::pct(outcome.metrics.overprediction),
+                      Table::pct(outcome.metrics.accuracy)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,107 @@
+#include "common/config.hpp"
+
+#include <stdexcept>
+
+namespace pythia {
+
+void
+Config::set(const std::string& key, const std::string& value)
+{
+    kv_[key] = value;
+}
+
+void
+Config::setInt(const std::string& key, std::int64_t value)
+{
+    kv_[key] = std::to_string(value);
+}
+
+void
+Config::setDouble(const std::string& key, double value)
+{
+    kv_[key] = std::to_string(value);
+}
+
+bool
+Config::has(const std::string& key) const
+{
+    return kv_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string& key, const std::string& dflt) const
+{
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string& key, std::int64_t dflt) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size())
+        throw std::invalid_argument("non-integer config value for " + key +
+                                    ": " + it->second);
+    return v;
+}
+
+double
+Config::getDouble(const std::string& key, double dflt) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size())
+        throw std::invalid_argument("non-numeric config value for " + key +
+                                    ": " + it->second);
+    return v;
+}
+
+bool
+Config::getBool(const std::string& key, bool dflt) const
+{
+    auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    const std::string& s = it->second;
+    if (s == "1" || s == "true" || s == "yes")
+        return true;
+    if (s == "0" || s == "false" || s == "no")
+        return false;
+    throw std::invalid_argument("non-boolean config value for " + key +
+                                ": " + s);
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char* const* argv)
+{
+    std::vector<std::string> ignored;
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            ignored.push_back(tok);
+            continue;
+        }
+        set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return ignored;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(kv_.size());
+    for (const auto& [k, v] : kv_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace pythia

@@ -1,0 +1,83 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+
+namespace pythia {
+
+namespace {
+
+/** splitmix64 step, used only to expand the user seed into PRNG state. */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    s0_ = splitmix64(x);
+    s1_ = splitmix64(x);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1; // xorshift state must not be all-zero
+}
+
+std::uint64_t
+Rng::next64()
+{
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection-free multiply-shift; bias is < 2^-64 * bound, negligible.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+std::uint64_t
+Rng::nextHeavyTail(std::uint64_t max_v)
+{
+    // Repeated halving: P(v >= 2^k) ~ 2^-k, clamped to [1, max_v].
+    std::uint64_t v = 1;
+    while (v < max_v && nextBool(0.5))
+        v *= 2;
+    return v > max_v ? max_v : v;
+}
+
+} // namespace pythia

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small, deterministic pseudo-random number generator.
+ *
+ * The simulator must be bit-reproducible given a seed (tests rely on it and
+ * the paper's epsilon-greedy exploration needs a cheap uniform source), so
+ * we use a self-contained xorshift128+ generator instead of std::mt19937 —
+ * it is faster, trivially seedable, and its output is stable across
+ * standard-library implementations.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace pythia {
+
+/**
+ * Deterministic xorshift128+ PRNG.
+ *
+ * Passes BigCrush except for the two lowest bits; we never expose those
+ * alone. Not cryptographic — exactly what a microarchitecture simulator
+ * needs and nothing more.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Sample from a geometric-ish heavy-tail in [1, max_v]. */
+    std::uint64_t nextHeavyTail(std::uint64_t max_v);
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace pythia

@@ -1,0 +1,110 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+namespace pythia {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    assert(header_.empty() || row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::cout << row[c];
+            for (std::size_t p = row[c].size(); p < width[c] + 2; ++p)
+                std::cout << ' ';
+        }
+        std::cout << "\n";
+    };
+
+    std::cout << "\n== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        std::cout << std::string(total, '-') << "\n";
+    }
+    for (const auto& row : rows_)
+        print_row(row);
+    std::cout.flush();
+}
+
+bool
+Table::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ",";
+            out << row[c];
+        }
+        out << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+    return static_cast<bool>(out);
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace pythia

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain-text table and CSV emitter used by the benchmark harness to print
+ * the same rows/series the paper's figures and tables report.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pythia {
+
+/**
+ * A rectangular table of strings with a header row.
+ *
+ * Benches build one Table per paper artifact, print it aligned to stdout,
+ * and optionally write it as CSV so the numbers can be post-processed the
+ * same way the paper's artifact appendix describes (rollup -> spreadsheet).
+ */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row (column names). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Convenience: format a percentage with sign, e.g. "+3.4%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render aligned text to stdout. */
+    void print() const;
+
+    /** Write as CSV to @p path; returns false on I/O failure. */
+    bool writeCsv(const std::string& path) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Access a data cell (row, col) for test introspection. */
+    const std::string& cell(std::size_t r, std::size_t c) const
+    {
+        return rows_.at(r).at(c);
+    }
+
+    /** Table title. */
+    const std::string& title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of a vector of positive values; 0 on empty input. */
+double geomean(const std::vector<double>& values);
+
+} // namespace pythia

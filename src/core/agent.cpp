@@ -1,0 +1,167 @@
+#include "core/agent.hpp"
+
+#include <cassert>
+
+namespace pythia::rl {
+
+namespace {
+
+QVStoreConfig
+qvConfigOf(const PythiaConfig& cfg)
+{
+    QVStoreConfig qc;
+    qc.num_features = static_cast<std::uint32_t>(cfg.features.size());
+    qc.num_planes = cfg.planes;
+    qc.plane_index_bits = cfg.plane_index_bits;
+    qc.num_actions = static_cast<std::uint32_t>(cfg.actions.size());
+    qc.alpha = cfg.alpha;
+    qc.gamma = cfg.gamma;
+    // Optimistic initialization at the highest achievable return.
+    qc.q_init = cfg.rewards.r_at / (1.0 - cfg.gamma);
+    return qc;
+}
+
+} // namespace
+
+PythiaPrefetcher::PythiaPrefetcher(const PythiaConfig& cfg)
+    : PrefetcherBase(cfg.name, 26112 /* 25.5KB, Table 4 */), cfg_(cfg),
+      qv_(qvConfigOf(cfg)), eq_(cfg.eq_size), rng_(cfg.seed),
+      stats_("pythia")
+{
+    assert(!cfg_.features.empty());
+    assert(!cfg_.actions.empty());
+}
+
+std::size_t
+PythiaPrefetcher::actionIndexOf(std::int32_t offset) const
+{
+    for (std::size_t i = 0; i < cfg_.actions.size(); ++i)
+        if (cfg_.actions[i] == offset)
+            return i;
+    return static_cast<std::size_t>(-1);
+}
+
+double
+PythiaPrefetcher::inaccurateReward() const
+{
+    return highBandwidth() ? cfg_.rewards.r_in_high : cfg_.rewards.r_in_low;
+}
+
+double
+PythiaPrefetcher::noPrefetchReward() const
+{
+    return highBandwidth() ? cfg_.rewards.r_np_high : cfg_.rewards.r_np_low;
+}
+
+void
+PythiaPrefetcher::retireEntry(EqEntry&& entry)
+{
+    if (!entry.has_reward) {
+        // Never demanded during EQ residency: inaccurate (Alg. 1 line 25).
+        entry.reward = inaccurateReward();
+        entry.has_reward = true;
+        stats_.inc("reward_inaccurate");
+        stats_.inc("off_in_" + std::to_string(cfg_.actions[entry.action]));
+    }
+    if (eq_.empty())
+        return;
+    const EqEntry& next = eq_.head();
+    qv_.update(entry.state, entry.action, entry.reward, next.state,
+               next.action);
+    stats_.inc("sarsa_updates");
+}
+
+void
+PythiaPrefetcher::train(const sim::PrefetchAccess& access,
+                        std::vector<sim::PrefetchRequest>& out)
+{
+    // (1) Reward every matching in-flight action: R_AT when the demand
+    // came after the prefetch fill, R_AL otherwise (Alg. 1 lines 6-11).
+    for (EqEntry* hit : eq_.searchAll(access.block)) {
+        const bool filled = hit->fill_known &&
+                            hit->fill_time <= access.cycle;
+        hit->reward = filled ? cfg_.rewards.r_at : cfg_.rewards.r_al;
+        hit->has_reward = true;
+        stats_.inc(filled ? "reward_accurate_timely"
+                          : "reward_accurate_late");
+        stats_.inc((filled ? "off_at_" : "off_al_") +
+                   std::to_string(cfg_.actions[hit->action]));
+    }
+
+    // (2) Extract the state vector (Alg. 1 line 12).
+    extractor_.observe(access.pc, access.block);
+    std::vector<std::uint64_t> state =
+        extractor_.extractAll(cfg_.features);
+
+    // (3) Epsilon-greedy action selection (Alg. 1 lines 13-16). With the
+    // multi-action degree extension, the top-k actions are taken; an
+    // exploration draw replaces the primary action with a random one.
+    std::vector<std::uint32_t> actions =
+        qv_.topActions(state, cfg_.degree);
+    // Secondary actions only issue while their Q-value beats the
+    // no-prefetch action's Q: the agent's own estimate says they are
+    // net-beneficial. This keeps the extension conservative on patterns
+    // where the agent has learned to stay quiet.
+    if (actions.size() > 1) {
+        const std::size_t np = actionIndexOf(0);
+        // Secondary actions must also clear the accurate-but-late return
+        // floor: a learned-useful action sits near R_AL/(1-gamma), while
+        // aliased or decayed rows drift below it.
+        double floor = cfg_.rewards.r_al;
+        if (np != static_cast<std::size_t>(-1))
+            floor = std::max(
+                floor, qv_.q(state, static_cast<std::uint32_t>(np)));
+        std::size_t keep = 1;
+        while (keep < actions.size() &&
+               qv_.q(state, actions[keep]) > floor)
+            ++keep;
+        actions.resize(keep);
+    }
+    if (rng_.nextBool(cfg_.epsilon)) {
+        actions[0] = static_cast<std::uint32_t>(
+            rng_.nextBounded(cfg_.actions.size()));
+        stats_.inc("explored_actions");
+    }
+
+    // (4) Generate the prefetches and EQ entries (Alg. 1 lines 17-22).
+    for (std::uint32_t action : actions) {
+        stats_.inc("actions_taken");
+        stats_.inc("sel_offset_" +
+                   std::to_string(cfg_.actions[action]));
+        const std::int32_t offset = cfg_.actions[action];
+        EqEntry entry;
+        entry.state = state;
+        entry.action = action;
+
+        if (offset == 0) {
+            entry.reward = noPrefetchReward();
+            entry.has_reward = true;
+            stats_.inc("action_no_prefetch");
+        } else if (!sameePageAfterOffset(access.block, offset)) {
+            entry.reward = cfg_.rewards.r_cl;
+            entry.has_reward = true;
+            stats_.inc("action_out_of_page");
+        } else {
+            entry.prefetch_block = static_cast<Addr>(
+                static_cast<std::int64_t>(access.block) + offset);
+            entry.has_prefetch = true;
+            sim::PrefetchRequest pr;
+            pr.block = entry.prefetch_block;
+            pr.fill_level = 2;
+            out.push_back(pr);
+            stats_.inc("action_prefetch");
+        }
+
+        // (5) Insert; retire the evicted entry via SARSA (lines 23-29).
+        if (auto evicted = eq_.insert(std::move(entry)))
+            retireEntry(std::move(*evicted));
+    }
+}
+
+void
+PythiaPrefetcher::onFill(Addr block, Cycle at)
+{
+    eq_.markFill(block, at);
+}
+
+} // namespace pythia::rl

@@ -1,0 +1,60 @@
+#include "core/configs.hpp"
+
+#include <utility>
+
+namespace pythia::rl {
+
+PythiaConfig
+basicPythiaConfig()
+{
+    return PythiaConfig{};
+}
+
+PythiaConfig
+strictPythiaConfig()
+{
+    PythiaConfig cfg;
+    cfg.name = "pythia_strict";
+    cfg.rewards.r_in_high = -22.0;
+    cfg.rewards.r_in_low = -20.0;
+    cfg.rewards.r_np_high = 0.0;
+    cfg.rewards.r_np_low = 0.0;
+    return cfg;
+}
+
+PythiaConfig
+bandwidthObliviousConfig()
+{
+    PythiaConfig cfg;
+    cfg.name = "pythia_bwobl";
+    cfg.rewards.r_in_high = -8.0;
+    cfg.rewards.r_in_low = -8.0;
+    cfg.rewards.r_np_high = -4.0;
+    cfg.rewards.r_np_low = -4.0;
+    return cfg;
+}
+
+PythiaConfig
+scaledForSimLength(PythiaConfig cfg)
+{
+    cfg.alpha = 0.20;
+    cfg.epsilon = 0.05;
+    cfg.degree = 3;
+    return cfg;
+}
+
+PythiaConfig
+withFeatures(PythiaConfig base, std::vector<FeatureSpec> features)
+{
+    base.features = std::move(features);
+    base.name = "pythia[";
+    for (std::size_t i = 0; i < base.features.size(); ++i) {
+        if (i)
+            base.name += ",";
+        base.name += featureName(base.features[i]);
+    }
+    base.name += "]";
+    return base;
+}
+
+} // namespace pythia::rl

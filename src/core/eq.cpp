@@ -1,0 +1,69 @@
+#include "core/eq.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pythia::rl {
+
+EvaluationQueue::EvaluationQueue(std::size_t capacity) : capacity_(capacity)
+{
+    assert(capacity_ > 0);
+}
+
+std::optional<EqEntry>
+EvaluationQueue::insert(EqEntry entry)
+{
+    std::optional<EqEntry> evicted;
+    if (entries_.size() >= capacity_) {
+        evicted = std::move(entries_.front());
+        entries_.pop_front();
+    }
+    entries_.push_back(std::move(entry));
+    return evicted;
+}
+
+EqEntry*
+EvaluationQueue::search(Addr block)
+{
+    // Most recent first: a fresh prefetch should absorb the demand match.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if (it->has_prefetch && it->prefetch_block == block &&
+            !it->has_reward)
+            return &*it;
+    }
+    return nullptr;
+}
+
+std::vector<EqEntry*>
+EvaluationQueue::searchAll(Addr block)
+{
+    std::vector<EqEntry*> matches;
+    for (auto& e : entries_) {
+        if (e.has_prefetch && e.prefetch_block == block && !e.has_reward)
+            matches.push_back(&e);
+    }
+    return matches;
+}
+
+bool
+EvaluationQueue::markFill(Addr block, Cycle at)
+{
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if (it->has_prefetch && it->prefetch_block == block &&
+            !it->fill_known) {
+            it->fill_time = at;
+            it->fill_known = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+const EqEntry&
+EvaluationQueue::head() const
+{
+    assert(!entries_.empty());
+    return entries_.front();
+}
+
+} // namespace pythia::rl

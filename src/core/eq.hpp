@@ -1,0 +1,80 @@
+/**
+ * @file
+ * EQ — Pythia's Evaluation Queue (paper §4, Fig. 4): a FIFO of the
+ * recently-taken actions with their state vectors, prefetch addresses,
+ * fill status and (once known) rewards. Reward assignment happens at
+ * insertion (no-prefetch / cross-page), during residency (demand match =>
+ * R_AT / R_AL) or at eviction (R_IN); the evicted entry drives the SARSA
+ * update together with the entry at the head of the queue.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pythia::rl {
+
+/** One Evaluation Queue entry. */
+struct EqEntry
+{
+    std::vector<std::uint64_t> state; ///< feature values at action time
+    std::uint32_t action = 0;         ///< action index
+    Addr prefetch_block = 0;          ///< 0 when no prefetch was issued
+    bool has_prefetch = false;
+    Cycle fill_time = 0;              ///< prefetch fill completion cycle
+    bool fill_known = false;
+    bool has_reward = false;
+    double reward = 0.0;
+};
+
+/** Fixed-capacity FIFO of EqEntry. */
+class EvaluationQueue
+{
+  public:
+    explicit EvaluationQueue(std::size_t capacity = 256);
+
+    /**
+     * Insert @p entry; when the queue is full the oldest entry is evicted
+     * and returned (Algorithm 1 line 23).
+     */
+    std::optional<EqEntry> insert(EqEntry entry);
+
+    /**
+     * Find the most recent un-rewarded entry whose prefetch address
+     * matches @p block (Algorithm 1 line 6). Returns nullptr on miss.
+     */
+    EqEntry* search(Addr block);
+
+    /**
+     * Collect every un-rewarded entry whose prefetch address matches
+     * @p block. A demand can match several queued actions (different
+     * offsets from different trigger addresses can target the same line);
+     * each of them generated a useful prefetch and earns a reward.
+     */
+    std::vector<EqEntry*> searchAll(Addr block);
+
+    /** Record a prefetch fill for a matching entry (Algorithm 1 line 31).
+     *  @return true when an entry was marked. */
+    bool markFill(Addr block, Cycle at);
+
+    /** Entry at the head (oldest); @pre !empty(). Provides (S2, A2) for
+     *  the SARSA update of the just-evicted entry. */
+    const EqEntry& head() const;
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop all entries (Algorithm 1 line 3). */
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<EqEntry> entries_;
+};
+
+} // namespace pythia::rl

@@ -1,0 +1,146 @@
+#include "core/qvstore.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/hashing.hpp"
+
+namespace pythia::rl {
+
+namespace {
+
+/// Per-plane shift constants "randomly selected at design time" (§4.2.1).
+constexpr unsigned kPlaneShift[] = {3, 11, 19, 27, 5, 13, 21, 29};
+
+} // namespace
+
+QVStore::QVStore(const QVStoreConfig& cfg) : cfg_(cfg)
+{
+    assert(cfg_.num_features > 0 && cfg_.num_planes > 0);
+    assert(cfg_.num_planes <= std::size(kPlaneShift));
+    assert(cfg_.num_actions > 0);
+    rows_per_plane_ = 1u << cfg_.plane_index_bits;
+    table_.assign(static_cast<std::size_t>(cfg_.num_features) *
+                      cfg_.num_planes * rows_per_plane_ * cfg_.num_actions,
+                  0.0f);
+    resetToOptimistic();
+}
+
+void
+QVStore::resetToOptimistic()
+{
+    // Q(S,A) is the sum of num_planes partial values; split the optimistic
+    // initial value evenly so the summed Q matches.
+    const float init = static_cast<float>(cfg_.q_init / cfg_.num_planes);
+    for (auto& v : table_)
+        v = init;
+    updates_ = 0;
+}
+
+std::uint32_t
+QVStore::planeRow(std::uint32_t plane, std::uint64_t feature_value) const
+{
+    return planeIndex(feature_value, kPlaneShift[plane],
+                      cfg_.plane_index_bits);
+}
+
+float&
+QVStore::cell(std::uint32_t vault, std::uint32_t plane, std::uint32_t row,
+              std::uint32_t action)
+{
+    const std::size_t idx =
+        ((static_cast<std::size_t>(vault) * cfg_.num_planes + plane) *
+             rows_per_plane_ + row) * cfg_.num_actions + action;
+    return table_[idx];
+}
+
+float
+QVStore::cellValue(std::uint32_t vault, std::uint32_t plane,
+                   std::uint32_t row, std::uint32_t action) const
+{
+    return const_cast<QVStore*>(this)->cell(vault, plane, row, action);
+}
+
+double
+QVStore::vaultQ(std::uint32_t vault, std::uint64_t feature_value,
+                std::uint32_t action) const
+{
+    double sum = 0.0;
+    for (std::uint32_t p = 0; p < cfg_.num_planes; ++p)
+        sum += cellValue(vault, p, planeRow(p, feature_value), action);
+    return sum;
+}
+
+double
+QVStore::q(const std::vector<std::uint64_t>& state,
+           std::uint32_t action) const
+{
+    assert(state.size() == cfg_.num_features);
+    double best = -1e300;
+    for (std::uint32_t v = 0; v < cfg_.num_features; ++v) {
+        const double qv = vaultQ(v, state[v], action);
+        if (qv > best)
+            best = qv;
+    }
+    return best;
+}
+
+std::uint32_t
+QVStore::maxAction(const std::vector<std::uint64_t>& state) const
+{
+    std::uint32_t best = 0;
+    double best_q = q(state, 0);
+    for (std::uint32_t a = 1; a < cfg_.num_actions; ++a) {
+        const double qa = q(state, a);
+        if (qa > best_q) {
+            best_q = qa;
+            best = a;
+        }
+    }
+    return best;
+}
+
+std::vector<std::uint32_t>
+QVStore::topActions(const std::vector<std::uint64_t>& state,
+                    std::uint32_t k) const
+{
+    std::vector<std::pair<double, std::uint32_t>> scored;
+    scored.reserve(cfg_.num_actions);
+    for (std::uint32_t a = 0; a < cfg_.num_actions; ++a)
+        scored.emplace_back(q(state, a), a);
+    std::sort(scored.begin(), scored.end(), [](const auto& x,
+                                               const auto& y) {
+        return x.first != y.first ? x.first > y.first
+                                  : x.second < y.second;
+    });
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < k && i < scored.size(); ++i)
+        out.push_back(scored[i].second);
+    return out;
+}
+
+double
+QVStore::maxQ(const std::vector<std::uint64_t>& state) const
+{
+    return q(state, maxAction(state));
+}
+
+void
+QVStore::update(const std::vector<std::uint64_t>& s1, std::uint32_t a1,
+                double reward, const std::vector<std::uint64_t>& s2,
+                std::uint32_t a2)
+{
+    assert(a1 < cfg_.num_actions && a2 < cfg_.num_actions);
+    const double q_sa = q(s1, a1);
+    const double target = reward + cfg_.gamma * q(s2, a2);
+    const double err = target - q_sa;
+    const float step = static_cast<float>(
+        cfg_.alpha * err / cfg_.num_planes);
+    for (std::uint32_t v = 0; v < cfg_.num_features; ++v)
+        for (std::uint32_t p = 0; p < cfg_.num_planes; ++p)
+            cell(v, p, planeRow(p, s1[v]), a1) += step;
+    ++updates_;
+}
+
+} // namespace pythia::rl

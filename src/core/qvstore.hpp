@@ -1,0 +1,99 @@
+/**
+ * @file
+ * QVStore — Pythia's hierarchical Q-value storage (paper §4.2.1).
+ *
+ * One *vault* per state-vector feature; each vault is a set of tile-coded
+ * *planes* (small 2-D tables indexed by hashed feature value x action).
+ * A feature-action Q-value is the sum of its partial plane values
+ * (Fig. 5(b)); the state-action Q-value is the max over vaults (Eqn. 3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pythia::rl {
+
+/** QVStore geometry and learning parameters (paper Table 2 / Table 4). */
+struct QVStoreConfig
+{
+    std::uint32_t num_features = 2;   ///< vaults
+    std::uint32_t num_planes = 3;     ///< planes per vault
+    std::uint32_t plane_index_bits = 7; ///< 128 feature rows per plane
+    std::uint32_t num_actions = 16;
+    double alpha = 0.0065;            ///< learning rate
+    double gamma = 0.556;             ///< discount factor
+    /** Optimistic initial Q-value. The paper initializes to the highest
+     *  possible cumulative reward (Algorithm 1 line 2 writes it as
+     *  1/(1-gamma) for unit-scale rewards); with reward levels up to
+     *  R_AT this is R_max/(1-gamma). Optimism drives systematic
+     *  exploration of every action. */
+    double q_init = 20.0 / (1.0 - 0.556);
+};
+
+/**
+ * The Q-value store. Values are kept in float; the hardware realization
+ * quantizes to 16-bit fixed point (storage modelled in storage_model.*).
+ */
+class QVStore
+{
+  public:
+    explicit QVStore(const QVStoreConfig& cfg);
+
+    /** Q(S, A): max over vaults of the summed partial values. */
+    double q(const std::vector<std::uint64_t>& state,
+             std::uint32_t action) const;
+
+    /** argmax_a Q(S, a); ties resolve to the lowest action index. */
+    std::uint32_t maxAction(const std::vector<std::uint64_t>& state) const;
+
+    /** The @p k actions with the highest Q-values, best first (the
+     *  multi-action degree extension; k=1 gives [maxAction]). */
+    std::vector<std::uint32_t>
+    topActions(const std::vector<std::uint64_t>& state,
+               std::uint32_t k) const;
+
+    /** Q(S, argmax_a Q(S, a)). */
+    double maxQ(const std::vector<std::uint64_t>& state) const;
+
+    /**
+     * SARSA update (paper Eqn. 1 / Algorithm 1 line 29):
+     * Q(S1,A1) += alpha * (R + gamma * Q(S2,A2) - Q(S1,A1)).
+     * The TD error is distributed equally over every plane of every vault,
+     * as in the original artifact.
+     */
+    void update(const std::vector<std::uint64_t>& s1, std::uint32_t a1,
+                double reward, const std::vector<std::uint64_t>& s2,
+                std::uint32_t a2);
+
+    /** Reset all entries to the optimistic initial value 1/(1-gamma)
+     *  (Algorithm 1 line 2). */
+    void resetToOptimistic();
+
+    /** Per-feature (vault) Q-value, exposed for the Fig. 13 case study. */
+    double vaultQ(std::uint32_t vault, std::uint64_t feature_value,
+                  std::uint32_t action) const;
+
+    /** Number of Q-value updates performed so far. */
+    std::uint64_t updates() const { return updates_; }
+
+    const QVStoreConfig& config() const { return cfg_; }
+
+  private:
+    std::uint32_t planeRow(std::uint32_t plane,
+                           std::uint64_t feature_value) const;
+    float& cell(std::uint32_t vault, std::uint32_t plane,
+                std::uint32_t row, std::uint32_t action);
+    float cellValue(std::uint32_t vault, std::uint32_t plane,
+                    std::uint32_t row, std::uint32_t action) const;
+
+    QVStoreConfig cfg_;
+    std::uint32_t rows_per_plane_;
+    /** [vault][plane][row * actions + action] flattened. */
+    std::vector<float> table_;
+    std::uint64_t updates_ = 0;
+};
+
+} // namespace pythia::rl

@@ -1,0 +1,80 @@
+#include "core/storage_model.hpp"
+
+#include <cmath>
+
+namespace pythia::rl {
+
+namespace {
+
+/// Synthesis anchor point from the paper (§6.7): the 25.5KB basic Pythia
+/// occupies 0.33 mm^2 and draws 55.11 mW per core in GF 14nm.
+constexpr double kAnchorBytes = 26112.0;
+constexpr double kAnchorAreaMm2 = 0.33;
+constexpr double kAnchorPowerMw = 55.11;
+
+/// Die parameters back-computed from Table 8's published overheads.
+const ReferenceProcessor kReferences[] = {
+    {"4-core Skylake D-2123IT (60W TDP)", 4, 128.2, 60.0},
+    {"18-core Skylake 6150 (165W TDP)", 18, 479.0, 165.0},
+    {"28-core Skylake 8180M (205W TDP)", 28, 694.7, 205.0},
+};
+
+} // namespace
+
+StorageBreakdown
+computeStorage(const PythiaConfig& cfg)
+{
+    StorageBreakdown s;
+    const std::uint64_t rows = 1ull << cfg.plane_index_bits;
+    const std::uint64_t actions = cfg.actions.size();
+
+    // QVStore: vaults x planes x (rows x actions) entries of 16b each.
+    s.qv_entry_bits = 16;
+    s.qvstore_bytes = cfg.features.size() * cfg.planes * rows * actions *
+                      s.qv_entry_bits / 8;
+
+    // EQ entry (Table 4): state (21b) + action index (5b) + reward (5b)
+    // + filled bit (1b) + address (16b) = 48b.
+    const std::uint32_t state_bits = 21;
+    const std::uint32_t action_bits = 5;
+    const std::uint32_t reward_bits = 5;
+    const std::uint32_t filled_bits = 1;
+    const std::uint32_t addr_bits = 16;
+    s.eq_entry_bits =
+        state_bits + action_bits + reward_bits + filled_bits + addr_bits;
+    s.eq_bytes = cfg.eq_size * s.eq_entry_bits / 8;
+
+    s.total_bytes = s.qvstore_bytes + s.eq_bytes;
+    return s;
+}
+
+double
+OverheadEstimate::area_overhead(double die_area_mm2) const
+{
+    return area_mm2 / die_area_mm2;
+}
+
+double
+OverheadEstimate::power_overhead(double tdp_w) const
+{
+    return power_mw / (tdp_w * 1000.0);
+}
+
+OverheadEstimate
+estimateOverhead(const StorageBreakdown& storage)
+{
+    OverheadEstimate e;
+    const double scale = storage.total_bytes / kAnchorBytes;
+    e.area_mm2 = kAnchorAreaMm2 * scale;
+    e.power_mw = kAnchorPowerMw * scale;
+    return e;
+}
+
+const ReferenceProcessor*
+referenceProcessors(std::size_t* count)
+{
+    *count = std::size(kReferences);
+    return kReferences;
+}
+
+} // namespace pythia::rl

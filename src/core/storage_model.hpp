@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical storage / area / power model for Pythia (paper Table 4 and
+ * Table 8). Storage is exact accounting of the hardware structures; area
+ * and power are scaled from the paper's published synthesis results
+ * (0.33 mm^2 and 55.11 mW per core at the 25.5KB basic configuration,
+ * GlobalFoundries 14nm) — see DESIGN.md §4 on this substitution.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/agent.hpp"
+
+namespace pythia::rl {
+
+/** Storage breakdown of a Pythia configuration, in bytes and bits. */
+struct StorageBreakdown
+{
+    std::uint64_t qvstore_bytes = 0;
+    std::uint64_t eq_bytes = 0;
+    std::uint64_t total_bytes = 0;
+
+    std::uint32_t eq_entry_bits = 0;   ///< per-entry bit cost
+    std::uint32_t qv_entry_bits = 16;  ///< Q-value width (16b fixed point)
+};
+
+/** Modelled area/power estimates for one core's Pythia instance. */
+struct OverheadEstimate
+{
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+    /** Overhead relative to a processor with @c die_area_mm2 / tdp_w. */
+    double area_overhead(double die_area_mm2) const;
+    double power_overhead(double tdp_w) const;
+};
+
+/** Exact storage accounting of @p cfg (Table 4 reproduces at defaults). */
+StorageBreakdown computeStorage(const PythiaConfig& cfg);
+
+/** Area/power scaled linearly in storage from the paper's synthesis
+ *  anchor point (Table 8). */
+OverheadEstimate estimateOverhead(const StorageBreakdown& storage);
+
+/** Reference die parameters of the processors in Table 8. */
+struct ReferenceProcessor
+{
+    const char* name;
+    std::uint32_t cores;
+    double die_area_mm2;
+    double tdp_w;
+};
+
+/** The three Skylake reference points of Table 8. */
+const ReferenceProcessor* referenceProcessors(std::size_t* count);
+
+} // namespace pythia::rl

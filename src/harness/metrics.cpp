@@ -1,0 +1,31 @@
+#include "harness/metrics.hpp"
+
+namespace pythia::harness {
+
+Metrics
+computeMetrics(const sim::RunResult& with_pf,
+               const sim::RunResult& baseline)
+{
+    Metrics m;
+    if (baseline.ipc_geomean > 0.0)
+        m.speedup = with_pf.ipc_geomean / baseline.ipc_geomean;
+
+    if (baseline.llc_demand_load_misses > 0) {
+        const double base =
+            static_cast<double>(baseline.llc_demand_load_misses);
+        m.coverage =
+            (base - static_cast<double>(with_pf.llc_demand_load_misses)) /
+            base;
+    }
+    if (baseline.llc_read_misses > 0) {
+        const double base =
+            static_cast<double>(baseline.llc_read_misses);
+        const double extra =
+            static_cast<double>(with_pf.llc_read_misses) - base;
+        m.overprediction = extra > 0.0 ? extra / base : 0.0;
+    }
+    m.accuracy = with_pf.accuracy();
+    return m;
+}
+
+} // namespace pythia::harness

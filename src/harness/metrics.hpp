@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Metric definitions of the paper's artifact appendix (§A.6):
+ *   Perf_X          = IPC_X / IPC_nopref
+ *   Coverage_X      = (LLCloadmiss_nopref - LLCloadmiss_X)
+ *                     / LLCloadmiss_nopref
+ *   Overprediction_X = (LLCreadmiss_X - LLCreadmiss_nopref)
+ *                     / LLCreadmiss_nopref
+ * all measured at the LLC - main-memory boundary.
+ */
+#pragma once
+
+#include "sim/system.hpp"
+
+namespace pythia::harness {
+
+/** Derived per-run metrics relative to the no-prefetching baseline. */
+struct Metrics
+{
+    double speedup = 1.0;        ///< geomean IPC ratio vs baseline
+    double coverage = 0.0;       ///< fraction of baseline misses removed
+    double overprediction = 0.0; ///< extra memory reads vs baseline
+    double accuracy = 1.0;       ///< useful / issued prefetches
+};
+
+/** Compute the paper's metrics from a prefetched and a baseline run. */
+Metrics computeMetrics(const sim::RunResult& with_pf,
+                       const sim::RunResult& baseline);
+
+} // namespace pythia::harness

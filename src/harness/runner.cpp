@@ -1,0 +1,133 @@
+#include "harness/runner.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+#include "prefetchers/registry.hpp"
+#include "workloads/suites.hpp"
+
+namespace pythia::harness {
+
+std::unique_ptr<sim::PrefetcherApi>
+makePrefetcher(const std::string& name,
+               const std::optional<rl::PythiaConfig>& custom)
+{
+    if (name == "pythia")
+        return std::make_unique<rl::PythiaPrefetcher>(
+            rl::scaledForSimLength(rl::basicPythiaConfig()));
+    if (name == "pythia_strict")
+        return std::make_unique<rl::PythiaPrefetcher>(
+            rl::scaledForSimLength(rl::strictPythiaConfig()));
+    if (name == "pythia_bwobl")
+        return std::make_unique<rl::PythiaPrefetcher>(
+            rl::scaledForSimLength(rl::bandwidthObliviousConfig()));
+    if (name == "pythia_custom") {
+        if (!custom)
+            throw std::invalid_argument(
+                "pythia_custom requires an explicit PythiaConfig");
+        return std::make_unique<rl::PythiaPrefetcher>(*custom);
+    }
+    return pf::makeBaseline(name);
+}
+
+std::vector<std::string>
+harnessPrefetcherNames()
+{
+    std::vector<std::string> names = pf::baselineNames();
+    names.push_back("pythia");
+    names.push_back("pythia_strict");
+    names.push_back("pythia_bwobl");
+    return names;
+}
+
+sim::SystemConfig
+systemConfigFor(const ExperimentSpec& spec)
+{
+    sim::SystemConfig cfg;
+    cfg.num_cores = spec.num_cores;
+    cfg.applyPaperChannelScaling();
+    cfg.dram.mtps = spec.mtps;
+    cfg.llc_bytes_per_core = spec.llc_bytes_per_core;
+    return cfg;
+}
+
+std::vector<std::unique_ptr<wl::Workload>>
+workloadsFor(const ExperimentSpec& spec)
+{
+    std::vector<std::unique_ptr<wl::Workload>> out;
+    if (!spec.mix.empty()) {
+        if (spec.mix.size() != spec.num_cores)
+            throw std::invalid_argument(
+                "mix size must equal num_cores");
+        for (std::size_t i = 0; i < spec.mix.size(); ++i)
+            out.push_back(wl::makeWorkload(
+                spec.mix[i],
+                spec.workload_seed ? mix64(spec.workload_seed + i) : 0));
+        return out;
+    }
+    for (std::uint32_t c = 0; c < spec.num_cores; ++c) {
+        // Homogeneous mixes run n copies with distinct seeds, standing in
+        // for the distinct physical pages n trace copies would touch.
+        const std::uint64_t reseed =
+            spec.workload_seed
+                ? mix64(spec.workload_seed + c)
+                : (c == 0 ? 0 : mix64(0x5EEDull + c));
+        out.push_back(wl::makeWorkload(spec.workload, reseed));
+    }
+    return out;
+}
+
+sim::RunResult
+simulate(const ExperimentSpec& spec)
+{
+    sim::System system(systemConfigFor(spec), workloadsFor(spec));
+    for (std::uint32_t c = 0; c < spec.num_cores; ++c) {
+        if (spec.prefetcher != "none")
+            system.attachL2Prefetcher(
+                c, makePrefetcher(spec.prefetcher, spec.pythia_cfg));
+        if (spec.l1_prefetcher != "none")
+            system.attachL1Prefetcher(
+                c, makePrefetcher(spec.l1_prefetcher, std::nullopt));
+    }
+    system.warmup(spec.warmup_instrs);
+    return system.run(spec.sim_instrs);
+}
+
+std::string
+Runner::baselineKey(const ExperimentSpec& spec) const
+{
+    std::ostringstream key;
+    key << spec.workload << "|";
+    for (const auto& m : spec.mix)
+        key << m << ",";
+    key << "|" << spec.num_cores << "|" << spec.mtps << "|"
+        << spec.llc_bytes_per_core << "|" << spec.warmup_instrs << "|"
+        << spec.sim_instrs << "|" << spec.workload_seed;
+    return key.str();
+}
+
+Runner::Outcome
+Runner::evaluate(const ExperimentSpec& spec)
+{
+    const std::string key = baselineKey(spec);
+    auto it = baselines_.find(key);
+    if (it == baselines_.end()) {
+        ExperimentSpec base = spec;
+        base.prefetcher = "none";
+        base.l1_prefetcher = "none";
+        base.pythia_cfg.reset();
+        it = baselines_.emplace(key, simulate(base)).first;
+    }
+
+    Outcome out;
+    out.baseline = it->second;
+    out.run = (spec.prefetcher == "none" && spec.l1_prefetcher == "none")
+                  ? out.baseline
+                  : simulate(spec);
+    out.metrics = computeMetrics(out.run, out.baseline);
+    return out;
+}
+
+} // namespace pythia::harness

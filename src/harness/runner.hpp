@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment runner: builds a System for a named workload + prefetcher +
+ * machine configuration, performs the paper's warmup-then-measure
+ * methodology, and caches no-prefetching baselines so suite-wide sweeps
+ * pay for each baseline only once.
+ *
+ * Simulation lengths are scaled-down analogues of the paper's 100M-warmup
+ * / 500M-measure windows, chosen so the full benchmark set completes on a
+ * laptop; the relative comparisons the figures make are preserved (see
+ * DESIGN.md §4).
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/configs.hpp"
+#include "harness/metrics.hpp"
+#include "sim/system.hpp"
+
+namespace pythia::harness {
+
+/** Everything that defines one simulation run. */
+struct ExperimentSpec
+{
+    std::string workload;            ///< catalog name (ignored if mix set)
+    std::vector<std::string> mix;    ///< heterogeneous multi-core mix
+    std::string prefetcher = "none"; ///< L2 prefetcher name
+    std::string l1_prefetcher = "none"; ///< L1 prefetcher (multi-level)
+    std::uint32_t num_cores = 1;
+    std::uint32_t mtps = 2400;
+    std::uint64_t llc_bytes_per_core = 2ull << 20;
+    std::uint64_t warmup_instrs = 100'000;
+    std::uint64_t sim_instrs = 300'000;
+    std::uint64_t workload_seed = 0;  ///< 0 = catalog default
+    /** Optional explicit Pythia configuration; used when prefetcher is
+     *  "pythia_custom". */
+    std::optional<rl::PythiaConfig> pythia_cfg;
+};
+
+/**
+ * Instantiate any prefetcher known to the repository: all baselines of
+ * prefetchers/registry.hpp plus "pythia", "pythia_strict", "pythia_bwobl"
+ * and "pythia_custom" (requires @p custom). Returns nullptr for "none".
+ */
+std::unique_ptr<sim::PrefetcherApi>
+makePrefetcher(const std::string& name,
+               const std::optional<rl::PythiaConfig>& custom = std::nullopt);
+
+/** All prefetcher names the harness accepts (excluding "none"). */
+std::vector<std::string> harnessPrefetcherNames();
+
+/** Translate an ExperimentSpec into a full SystemConfig. */
+sim::SystemConfig systemConfigFor(const ExperimentSpec& spec);
+
+/** Build the per-core workload list for @p spec (clones for homogeneous
+ *  multi-core runs, catalog lookups for heterogeneous mixes). */
+std::vector<std::unique_ptr<wl::Workload>>
+workloadsFor(const ExperimentSpec& spec);
+
+/** Run one experiment end to end (construct, warm up, measure). */
+sim::RunResult simulate(const ExperimentSpec& spec);
+
+/**
+ * Runner with baseline caching: evaluate() returns the run, the matching
+ * no-prefetching baseline (computed at most once per machine+workload
+ * key) and the derived paper metrics.
+ */
+class Runner
+{
+  public:
+    struct Outcome
+    {
+        sim::RunResult run;
+        sim::RunResult baseline;
+        Metrics metrics;
+    };
+
+    /** Evaluate @p spec against its cached no-prefetching baseline. */
+    Outcome evaluate(const ExperimentSpec& spec);
+
+    /** Number of baseline simulations performed so far. */
+    std::size_t baselinesComputed() const { return baselines_.size(); }
+
+  private:
+    std::string baselineKey(const ExperimentSpec& spec) const;
+    std::map<std::string, sim::RunResult> baselines_;
+};
+
+} // namespace pythia::harness

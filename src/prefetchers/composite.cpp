@@ -1,0 +1,79 @@
+#include "prefetchers/composite.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pythia::pf {
+
+namespace {
+
+std::size_t
+totalStorage(const std::vector<std::unique_ptr<PrefetcherApi>>& children)
+{
+    return std::accumulate(
+        children.begin(), children.end(), std::size_t{0},
+        [](std::size_t acc, const auto& c) {
+            return acc + c->storageBytes();
+        });
+}
+
+} // namespace
+
+CompositePrefetcher::CompositePrefetcher(
+    std::string name, std::vector<std::unique_ptr<PrefetcherApi>> children)
+    : PrefetcherBase(std::move(name), totalStorage(children)),
+      children_(std::move(children))
+{
+}
+
+void
+CompositePrefetcher::train(const PrefetchAccess& access,
+                           std::vector<PrefetchRequest>& out)
+{
+    for (auto& c : children_)
+        c->train(access, out);
+    // Union: drop duplicate target blocks, keeping the strongest
+    // (lowest) fill level.
+    std::sort(out.begin(), out.end(),
+              [](const PrefetchRequest& a, const PrefetchRequest& b) {
+                  return a.block != b.block ? a.block < b.block
+                                            : a.fill_level < b.fill_level;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const PrefetchRequest& a,
+                             const PrefetchRequest& b) {
+                              return a.block == b.block;
+                          }),
+              out.end());
+}
+
+void
+CompositePrefetcher::onFill(Addr block, Cycle at)
+{
+    for (auto& c : children_)
+        c->onFill(block, at);
+}
+
+void
+CompositePrefetcher::onPrefetchUsed(Addr block, bool timely)
+{
+    for (auto& c : children_)
+        c->onPrefetchUsed(block, timely);
+}
+
+void
+CompositePrefetcher::onPrefetchEvicted(Addr block, bool used)
+{
+    for (auto& c : children_)
+        c->onPrefetchEvicted(block, used);
+}
+
+void
+CompositePrefetcher::setBandwidthInfo(const BandwidthInfo* bw)
+{
+    PrefetcherBase::setBandwidthInfo(bw);
+    for (auto& c : children_)
+        c->setBandwidthInfo(bw);
+}
+
+} // namespace pythia::pf

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CP-HW — the context prefetcher of Peled+ [ISCA'15] restricted to
+ * hardware-observable contexts, as the paper builds it for the Appendix
+ * B.4 comparison. A *contextual bandit*: it scores (context, offset)
+ * pairs with immediate rewards only — no bootstrapped long-term value —
+ * which is exactly the "myopic" property Pythia's SARSA formulation
+ * improves upon (§4.5).
+ */
+#pragma once
+
+#include "common/rng.hpp"
+#include "prefetchers/prefetcher.hpp"
+
+#include <unordered_map>
+
+namespace pythia::pf {
+
+/** CP-HW knobs. */
+struct CpHwConfig
+{
+    std::uint32_t table_entries = 2048; ///< context rows
+    double alpha = 0.10;                ///< bandit learning rate
+    double epsilon = 0.01;              ///< exploration rate
+    double reward_timely = 1.0;
+    double reward_late = 0.5;
+    double reward_unused = -1.0;
+    std::uint64_t seed = 0xC0FFEEull;
+};
+
+/** Contextual-bandit prefetcher over hardware contexts (PC + last delta). */
+class CpHwPrefetcher : public PrefetcherBase
+{
+  public:
+    explicit CpHwPrefetcher(const CpHwConfig& cfg = CpHwConfig{});
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+    void onPrefetchUsed(Addr block, bool timely) override;
+    void onPrefetchEvicted(Addr block, bool used) override;
+
+    /** The shared pruned offset action list (same as Pythia's, so the
+     *  comparison isolates the learning algorithm). */
+    static const std::vector<std::int32_t>& actionList();
+
+  private:
+    std::uint32_t contextOf(Addr pc, std::int32_t delta) const;
+    void reinforce(std::uint32_t ctx, std::size_t action, double reward);
+
+    CpHwConfig cfg_;
+    std::vector<std::vector<double>> q_; ///< [context][action]
+    PageTracker tracker_;
+    Rng rng_;
+
+    struct Pending { std::uint32_t ctx; std::size_t action; };
+    std::unordered_map<Addr, Pending> pending_;
+};
+
+} // namespace pythia::pf

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * IPCP-style multi-class instruction-pointer prefetcher [Pakalapati &
+ * Panda, ISCA'20], the DPC3-winning multi-level baseline of §6.2.4.
+ * Classifies every load IP as constant-stride (CS), streaming (S) or
+ * complex delta-correlated (CPLX) and prefetches per class.
+ */
+#pragma once
+
+#include "prefetchers/prefetcher.hpp"
+
+namespace pythia::pf {
+
+/** IPCP tuning knobs. */
+struct IpcpConfig
+{
+    std::uint32_t ip_entries = 256;
+    std::uint32_t cspt_entries = 1024; ///< complex-stride pattern table
+    std::uint32_t cs_degree = 4;
+    std::uint32_t stream_degree = 8;
+};
+
+/** Bouquet-of-IP-classes prefetcher. */
+class IpcpPrefetcher : public PrefetcherBase
+{
+  public:
+    explicit IpcpPrefetcher(const IpcpConfig& cfg = IpcpConfig{});
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+
+  private:
+    enum class IpClass : std::uint8_t { None, ConstStride, Stream, Cplx };
+
+    struct IpEntry
+    {
+        Addr pc = 0;
+        Addr last_block = 0;
+        std::int32_t stride = 0;
+        std::uint8_t stride_conf = 0;
+        std::uint8_t stream_conf = 0;
+        std::uint32_t signature = 0;
+        IpClass cls = IpClass::None;
+        bool valid = false;
+    };
+
+    struct CsptEntry
+    {
+        std::int32_t delta = 0;
+        std::uint8_t conf = 0;
+    };
+
+    IpcpConfig cfg_;
+    std::vector<IpEntry> ip_;
+    std::vector<CsptEntry> cspt_;
+};
+
+} // namespace pythia::pf

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * MLOP — Multi-Lookahead Offset Prefetcher [Shakerinava+ DPC3'19], the
+ * third baseline of the paper's headline comparison. Scores every
+ * candidate offset at multiple lookahead levels against an access-map
+ * history and prefetches the best offset of each level once enough
+ * evaluation updates have accumulated.
+ */
+#pragma once
+
+#include "prefetchers/prefetcher.hpp"
+
+namespace pythia::pf {
+
+/** MLOP tuning knobs; defaults follow Table 7 (128-entry AMT, 500-update
+ *  evaluation rounds, degree 16). */
+struct MlopConfig
+{
+    std::uint32_t amt_entries = 128;   ///< tracked pages (access maps)
+    std::uint32_t update_round = 500;  ///< updates per evaluation round
+    std::uint32_t max_degree = 16;     ///< lookahead levels / max prefetches
+    std::int32_t max_offset = 31;      ///< candidate offsets in [-max,max]
+};
+
+/**
+ * MLOP. Each tracked page keeps a 64-bit access bitmap plus the sequence
+ * index of each block's access; offset d earns a point at lookahead level
+ * l when the current access was preceded, at least l accesses earlier,
+ * by an access to (block - d) in the same page — i.e. prefetching d ahead
+ * from that earlier access would have covered this demand in time.
+ */
+class MlopPrefetcher : public PrefetcherBase
+{
+  public:
+    explicit MlopPrefetcher(const MlopConfig& cfg = MlopConfig{});
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+
+    /** Offsets currently chosen per lookahead level (for tests). */
+    const std::vector<std::int32_t>& chosenOffsets() const
+    {
+        return chosen_;
+    }
+
+  private:
+    struct MapEntry
+    {
+        Addr page = ~0ull;
+        std::uint64_t bitmap = 0;
+        std::uint8_t access_seq[64] = {}; ///< per-block recency rank
+        std::uint8_t seq = 0;
+        bool valid = false;
+    };
+
+    MapEntry& mapOf(Addr page);
+    void finishRound();
+
+    MlopConfig cfg_;
+    std::vector<MapEntry> maps_;
+    /** score[level][offset_index]; offset_index 0 => -max_offset. */
+    std::vector<std::vector<std::uint32_t>> scores_;
+    std::vector<std::int32_t> chosen_;
+    std::uint32_t updates_ = 0;
+};
+
+} // namespace pythia::pf

@@ -1,0 +1,18 @@
+#include "prefetchers/nextline.hpp"
+
+namespace pythia::pf {
+
+NextLinePrefetcher::NextLinePrefetcher(std::uint32_t degree)
+    : PrefetcherBase("nextline", 0), degree_(degree)
+{
+}
+
+void
+NextLinePrefetcher::train(const PrefetchAccess& access,
+                          std::vector<PrefetchRequest>& out)
+{
+    for (std::uint32_t d = 1; d <= degree_; ++d)
+        emitWithinPage(access.block, static_cast<std::int32_t>(d), out);
+}
+
+} // namespace pythia::pf

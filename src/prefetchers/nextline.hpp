@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Degenerate next-line prefetcher, used as a sanity baseline in tests and
+ * ablations (not one of the paper's comparison points, but the simplest
+ * member of the API for validation).
+ */
+#pragma once
+
+#include "prefetchers/prefetcher.hpp"
+
+namespace pythia::pf {
+
+/** Prefetches the next @p degree sequential cachelines on every demand. */
+class NextLinePrefetcher : public PrefetcherBase
+{
+  public:
+    explicit NextLinePrefetcher(std::uint32_t degree = 1);
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+
+  private:
+    std::uint32_t degree_;
+};
+
+} // namespace pythia::pf

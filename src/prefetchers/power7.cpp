@@ -1,0 +1,58 @@
+#include "prefetchers/power7.hpp"
+
+#include <algorithm>
+
+namespace pythia::pf {
+
+Power7Prefetcher::Power7Prefetcher(const Power7Config& cfg)
+    : PrefetcherBase("power7", 1024), cfg_(cfg),
+      streamer_(64, /*degree=*/4, /*train_len=*/2)
+{
+}
+
+void
+Power7Prefetcher::maybeRetune()
+{
+    if (issued_ < cfg_.epoch_prefetches)
+        return;
+    const double accuracy =
+        used_ + wasted_ > 0
+            ? static_cast<double>(used_) / (used_ + wasted_)
+            : 1.0;
+    std::uint32_t depth = streamer_.degree();
+    // Accurate and bandwidth-cheap epochs ramp the depth up; inaccurate
+    // or bandwidth-saturated epochs ramp it down.
+    if (accuracy > 0.6 && !highBandwidth())
+        depth = std::min(cfg_.max_depth, depth + 2);
+    else if (accuracy < 0.4 || highBandwidth())
+        depth = std::max(cfg_.min_depth, depth > 2 ? depth - 2 : 1);
+    streamer_.setDegree(depth);
+    issued_ = 0;
+    used_ = 0;
+    wasted_ = 0;
+}
+
+void
+Power7Prefetcher::train(const PrefetchAccess& access,
+                        std::vector<PrefetchRequest>& out)
+{
+    const std::size_t before = out.size();
+    streamer_.train(access, out);
+    issued_ += out.size() - before;
+    maybeRetune();
+}
+
+void
+Power7Prefetcher::onPrefetchUsed(Addr, bool)
+{
+    ++used_;
+}
+
+void
+Power7Prefetcher::onPrefetchEvicted(Addr, bool used)
+{
+    if (!used)
+        ++wasted_;
+}
+
+} // namespace pythia::pf

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * POWER7-style adaptive stream prefetcher [Jimenez+ TOPC'14], compared
+ * against Pythia in the paper's Appendix B.5. A conventional streamer
+ * whose depth is retuned periodically from observed prefetch usefulness
+ * and DRAM bandwidth utilization — system feedback as an *afterthought*
+ * control loop, in contrast to Pythia's inherent reward integration.
+ */
+#pragma once
+
+#include "prefetchers/prefetcher.hpp"
+#include "prefetchers/streamer.hpp"
+
+namespace pythia::pf {
+
+/** POWER7 adaptive prefetcher knobs. */
+struct Power7Config
+{
+    std::uint32_t epoch_prefetches = 256; ///< retune interval
+    std::uint32_t min_depth = 1;
+    std::uint32_t max_depth = 16;
+};
+
+/** Streamer with epoch-based adaptive depth selection. */
+class Power7Prefetcher : public PrefetcherBase
+{
+  public:
+    explicit Power7Prefetcher(const Power7Config& cfg = Power7Config{});
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+    void onPrefetchUsed(Addr block, bool timely) override;
+    void onPrefetchEvicted(Addr block, bool used) override;
+
+    /** Current adaptive depth (for tests). */
+    std::uint32_t depth() const { return streamer_.degree(); }
+
+  private:
+    void maybeRetune();
+
+    Power7Config cfg_;
+    StreamerPrefetcher streamer_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t used_ = 0;
+    std::uint64_t wasted_ = 0;
+};
+
+} // namespace pythia::pf

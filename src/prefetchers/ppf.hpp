@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PPF — Perceptron-based Prefetch Filtering [Bhatia+ ISCA'19] layered on
+ * SPP, the "SPP+PPF" baseline of the paper. A perceptron judges every SPP
+ * candidate from a handful of cheap features; rejected candidates are
+ * suppressed, and the perceptron trains from prefetch outcome feedback.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "prefetchers/prefetcher.hpp"
+#include "prefetchers/spp.hpp"
+
+namespace pythia::pf {
+
+/** PPF tuning knobs. */
+struct PpfConfig
+{
+    std::uint32_t table_entries = 4096; ///< per-feature weight table size
+    std::int32_t threshold = 0;         ///< accept when sum >= threshold
+    std::int32_t train_margin = 32;     ///< retrain when |sum| < margin
+    std::int32_t weight_max = 31;       ///< saturating weight bound
+};
+
+/**
+ * SPP with a perceptron filter. Wraps an internal SppPrefetcher; its
+ * candidates are scored by summing per-feature weights (PC, page offset,
+ * delta, signature). Outcomes (useful / useless) adjust the weights.
+ */
+class PpfPrefetcher : public PrefetcherBase
+{
+  public:
+    explicit PpfPrefetcher(const PpfConfig& cfg = PpfConfig{},
+                           const SppConfig& spp_cfg = SppConfig{});
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+    void onFill(Addr block, Cycle at) override;
+    void onPrefetchUsed(Addr block, bool timely) override;
+    void onPrefetchEvicted(Addr block, bool used) override;
+
+    /** Number of candidates rejected by the filter so far. */
+    std::uint64_t rejected() const { return rejected_; }
+
+  private:
+    static constexpr int kFeatures = 4;
+
+    struct PendingPrefetch
+    {
+        std::uint32_t feature_idx[kFeatures] = {0, 0, 0, 0};
+        std::int32_t sum = 0;
+    };
+
+    /** Compute the perceptron feature indices of a candidate. */
+    void featureIndices(const PrefetchAccess& access, Addr target,
+                        std::uint32_t idx[kFeatures]) const;
+    std::int32_t score(const std::uint32_t idx[kFeatures]) const;
+    void adjust(const PendingPrefetch& p, bool useful);
+
+    PpfConfig cfg_;
+    SppPrefetcher spp_;
+    std::vector<std::int32_t> weights_; ///< kFeatures * table_entries
+    std::unordered_map<Addr, PendingPrefetch> pending_;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace pythia::pf

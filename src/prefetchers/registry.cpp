@@ -1,0 +1,98 @@
+#include "prefetchers/registry.hpp"
+
+#include <stdexcept>
+
+#include "prefetchers/bingo.hpp"
+#include "prefetchers/composite.hpp"
+#include "prefetchers/cp_hw.hpp"
+#include "prefetchers/dspatch.hpp"
+#include "prefetchers/ipcp.hpp"
+#include "prefetchers/mlop.hpp"
+#include "prefetchers/nextline.hpp"
+#include "prefetchers/power7.hpp"
+#include "prefetchers/ppf.hpp"
+#include "prefetchers/spp.hpp"
+#include "prefetchers/streamer.hpp"
+#include "prefetchers/stride.hpp"
+
+namespace pythia::pf {
+
+namespace {
+
+std::unique_ptr<PrefetcherApi>
+makeStack(const std::string& name, int depth)
+{
+    std::vector<std::unique_ptr<PrefetcherApi>> kids;
+    kids.push_back(std::make_unique<StridePrefetcher>());
+    if (depth >= 2)
+        kids.push_back(std::make_unique<SppPrefetcher>());
+    if (depth >= 3)
+        kids.push_back(std::make_unique<BingoPrefetcher>());
+    if (depth >= 4)
+        kids.push_back(std::make_unique<DspatchPrefetcher>());
+    if (depth >= 5)
+        kids.push_back(std::make_unique<MlopPrefetcher>());
+    return std::make_unique<CompositePrefetcher>(name, std::move(kids));
+}
+
+} // namespace
+
+std::unique_ptr<PrefetcherApi>
+makeBaseline(const std::string& name)
+{
+    if (name == "none")
+        return nullptr;
+    if (name == "nextline")
+        return std::make_unique<NextLinePrefetcher>();
+    if (name == "stride")
+        return std::make_unique<StridePrefetcher>();
+    if (name == "streamer")
+        return std::make_unique<StreamerPrefetcher>();
+    if (name == "spp")
+        return std::make_unique<SppPrefetcher>();
+    if (name == "spp_ppf")
+        return std::make_unique<PpfPrefetcher>();
+    if (name == "bingo")
+        return std::make_unique<BingoPrefetcher>();
+    if (name == "mlop")
+        return std::make_unique<MlopPrefetcher>();
+    if (name == "dspatch")
+        return std::make_unique<DspatchPrefetcher>();
+    if (name == "spp_dspatch") {
+        std::vector<std::unique_ptr<PrefetcherApi>> kids;
+        kids.push_back(std::make_unique<SppPrefetcher>());
+        kids.push_back(std::make_unique<DspatchPrefetcher>());
+        return std::make_unique<CompositePrefetcher>("spp_dspatch",
+                                                     std::move(kids));
+    }
+    if (name == "ipcp")
+        return std::make_unique<IpcpPrefetcher>();
+    if (name == "power7")
+        return std::make_unique<Power7Prefetcher>();
+    if (name == "cp_hw")
+        return std::make_unique<CpHwPrefetcher>();
+    if (name == "st")
+        return makeStack(name, 1);
+    if (name == "st_s")
+        return makeStack(name, 2);
+    if (name == "st_s_b")
+        return makeStack(name, 3);
+    if (name == "st_s_b_d")
+        return makeStack(name, 4);
+    if (name == "st_s_b_d_m")
+        return makeStack(name, 5);
+    throw std::invalid_argument("unknown baseline prefetcher: " + name);
+}
+
+const std::vector<std::string>&
+baselineNames()
+{
+    static const std::vector<std::string> names = {
+        "nextline", "stride",   "streamer",  "spp",      "spp_ppf",
+        "bingo",    "mlop",     "dspatch",   "spp_dspatch", "ipcp",
+        "power7",   "cp_hw",    "st",        "st_s",     "st_s_b",
+        "st_s_b_d", "st_s_b_d_m"};
+    return names;
+}
+
+} // namespace pythia::pf

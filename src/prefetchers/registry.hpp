@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Factory for the baseline prefetchers by name. (The Pythia agent itself
+ * is layered above this library; the harness composes both registries —
+ * see harness/runner.hpp.)
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetchers/prefetcher.hpp"
+
+namespace pythia::pf {
+
+/**
+ * Build a baseline prefetcher by name. Known names: "none" (returns
+ * nullptr), "nextline", "stride", "streamer", "spp", "spp_ppf", "bingo",
+ * "mlop", "dspatch", "spp_dspatch", "ipcp", "power7", "cp_hw", and the
+ * combination stacks "st", "st_s", "st_s_b", "st_s_b_d", "st_s_b_d_m".
+ * @throws std::invalid_argument on unknown names.
+ */
+std::unique_ptr<PrefetcherApi> makeBaseline(const std::string& name);
+
+/** Names accepted by makeBaseline (excluding "none"). */
+const std::vector<std::string>& baselineNames();
+
+} // namespace pythia::pf

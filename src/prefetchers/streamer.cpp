@@ -1,0 +1,63 @@
+#include "prefetchers/streamer.hpp"
+
+namespace pythia::pf {
+
+StreamerPrefetcher::StreamerPrefetcher(std::uint32_t streams,
+                                       std::uint32_t degree,
+                                       std::uint32_t train_len)
+    : PrefetcherBase("streamer", streams * 12), streams_(streams),
+      degree_(degree), train_len_(train_len)
+{
+}
+
+void
+StreamerPrefetcher::train(const PrefetchAccess& access,
+                          std::vector<PrefetchRequest>& out)
+{
+    const Addr page = pageIdOfBlock(access.block);
+    const auto offset =
+        static_cast<std::int32_t>(access.block & (kBlocksPerPage - 1));
+    ++tick_;
+
+    // Find the stream tracking this page, or allocate the LRU slot.
+    Stream* s = nullptr;
+    Stream* lru = &streams_[0];
+    for (auto& st : streams_) {
+        if (st.page == page) {
+            s = &st;
+            break;
+        }
+        if (st.lru < lru->lru)
+            lru = &st;
+    }
+    if (s == nullptr) {
+        *lru = Stream{};
+        lru->page = page;
+        lru->last_offset = offset;
+        lru->lru = tick_;
+        return;
+    }
+    s->lru = tick_;
+
+    const std::int32_t delta = offset - s->last_offset;
+    s->last_offset = offset;
+    if (delta == 0)
+        return;
+
+    const std::int8_t dir = delta > 0 ? 1 : -1;
+    if (dir == s->dir) {
+        if (s->confirmations < 255)
+            ++s->confirmations;
+    } else {
+        s->dir = dir;
+        s->confirmations = 1;
+    }
+
+    if (s->confirmations >= train_len_) {
+        for (std::uint32_t d = 1; d <= degree_; ++d)
+            emitWithinPage(access.block,
+                           s->dir * static_cast<std::int32_t>(d), out);
+    }
+}
+
+} // namespace pythia::pf

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * L2 stream prefetcher in the style of commercial Intel streamers
+ * [Chen & Baer, IEEE TC'95; Intel disclosure], the second half of the
+ * "stride+streamer" multi-level baseline of §6.2.4.
+ */
+#pragma once
+
+#include "prefetchers/prefetcher.hpp"
+
+namespace pythia::pf {
+
+/**
+ * Tracks up to N concurrent streams at page granularity; once a stream's
+ * direction is confirmed by @p train_len accesses it runs @p degree lines
+ * ahead of the demand stream.
+ */
+class StreamerPrefetcher : public PrefetcherBase
+{
+  public:
+    StreamerPrefetcher(std::uint32_t streams = 64, std::uint32_t degree = 8,
+                       std::uint32_t train_len = 2);
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+
+    /** Adjust the run-ahead distance (used by the POWER7-style wrapper). */
+    void setDegree(std::uint32_t degree) { degree_ = degree; }
+
+    /** Current run-ahead distance. */
+    std::uint32_t degree() const { return degree_; }
+
+  private:
+    struct Stream
+    {
+        Addr page = ~0ull;
+        std::int32_t last_offset = -1;
+        std::int8_t dir = 0;      ///< +1 ascending, -1 descending, 0 unset
+        std::uint8_t confirmations = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::vector<Stream> streams_;
+    std::uint32_t degree_;
+    std::uint32_t train_len_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace pythia::pf

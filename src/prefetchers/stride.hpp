@@ -1,0 +1,45 @@
+/**
+ * @file
+ * PC-based stride prefetcher [Fu+ MICRO'92, Jouppi ISCA'90], the classic
+ * L1 prefetcher used by the paper's multi-level comparisons (§6.2.4) and
+ * the "St" component of the §6.3 prefetcher-combination study.
+ */
+#pragma once
+
+#include "prefetchers/prefetcher.hpp"
+
+namespace pythia::pf {
+
+/**
+ * Per-PC stride table with 2-bit confidence. When the same PC produces the
+ * same cacheline stride twice in a row the entry becomes confident and
+ * prefetches @p degree strides ahead.
+ */
+class StridePrefetcher : public PrefetcherBase
+{
+  public:
+    /**
+     * @param entries table entries (direct mapped by PC hash)
+     * @param degree  prefetch distance in strides once confident
+     */
+    explicit StridePrefetcher(std::uint32_t entries = 256,
+                              std::uint32_t degree = 4);
+
+    void train(const PrefetchAccess& access,
+               std::vector<PrefetchRequest>& out) override;
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr last_block = 0;
+        std::int32_t stride = 0;
+        std::uint8_t confidence = 0; ///< saturating 0..3; >=2 prefetches
+        bool valid = false;
+    };
+
+    std::vector<Entry> table_;
+    std::uint32_t degree_;
+};
+
+} // namespace pythia::pf

@@ -1,0 +1,266 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/dram.hpp"
+
+namespace pythia::sim {
+
+// ---------------------------------------------------------------------------
+// DramLevel
+
+Cycle
+DramLevel::access(const MemAccess& req)
+{
+    return dram_.access(req.block, req.at,
+                        req.type == AccessType::Writeback);
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+
+Cache::Cache(const CacheConfig& cfg, MemoryLevel& next)
+    : cfg_(cfg), next_(next), stats_(cfg.name)
+{
+    assert(cfg_.size_bytes % (kBlockSize * cfg_.ways) == 0);
+    sets_ = static_cast<std::uint32_t>(cfg_.size_bytes /
+                                       (kBlockSize * cfg_.ways));
+    assert(sets_ > 0);
+    blocks_.assign(static_cast<std::size_t>(sets_) * cfg_.ways, Block{});
+    repl_ = makeReplacement(cfg_.replacement, sets_, cfg_.ways);
+}
+
+std::uint32_t
+Cache::setOf(Addr block) const
+{
+    // Modulo indexing supports non-power-of-two set counts (e.g. the
+    // 24MB LLC of a 12-core system); for power-of-two counts the
+    // compiler reduces this to the usual mask.
+    return static_cast<std::uint32_t>(block % sets_);
+}
+
+Cache::Block*
+Cache::findBlock(Addr block)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(block)) * cfg_.ways;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Block& b = blocks_[base + w];
+        if (b.valid && b.addr == block)
+            return &b;
+    }
+    return nullptr;
+}
+
+const Cache::Block*
+Cache::findBlock(Addr block) const
+{
+    return const_cast<Cache*>(this)->findBlock(block);
+}
+
+bool
+Cache::contains(Addr block) const
+{
+    return findBlock(block) != nullptr;
+}
+
+Cycle
+Cache::reserveMshr(Cycle t)
+{
+    // Retire completed misses, then stall until a slot frees if needed.
+    while (!inflight_.empty() && *inflight_.begin() <= t)
+        inflight_.erase(inflight_.begin());
+    if (inflight_.size() >= cfg_.mshrs) {
+        stats_.inc("mshr_stalls");
+        t = *inflight_.begin();
+        inflight_.erase(inflight_.begin());
+    }
+    return t;
+}
+
+Cache::Block&
+Cache::insertBlock(const MemAccess& req, Cycle fill_time)
+{
+    const std::uint32_t set = setOf(req.block);
+    const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+
+    // Prefer an invalid way; otherwise consult the replacement policy.
+    std::uint32_t way = cfg_.ways;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!blocks_[base + w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == cfg_.ways) {
+        way = repl_->victim(set);
+        Block& victim = blocks_[base + way];
+        repl_->onEvict(set, way, victim.reused);
+        stats_.inc("evictions");
+        if (victim.prefetched) {
+            if (!victim.used)
+                stats_.inc("prefetch_useless");
+            if (prefetcher_)
+                prefetcher_->onPrefetchEvicted(victim.addr, victim.used);
+        }
+        if (victim.dirty) {
+            stats_.inc("writebacks");
+            MemAccess wb;
+            wb.pc = 0;
+            wb.block = victim.addr;
+            wb.type = AccessType::Writeback;
+            wb.at = req.at;
+            wb.core = req.core;
+            next_.access(wb); // fire and forget
+        }
+    }
+
+    Block& b = blocks_[base + way];
+    b.addr = req.block;
+    b.valid = true;
+    b.dirty = (req.type == AccessType::Store ||
+               req.type == AccessType::Writeback);
+    b.prefetched = (req.type == AccessType::Prefetch);
+    b.used = false;
+    b.reused = false;
+    b.fill_time = fill_time;
+
+    ReplAccess ctx;
+    ctx.pc = req.pc;
+    ctx.is_prefetch = b.prefetched;
+    repl_->onInsert(set, way, ctx);
+    return b;
+}
+
+void
+Cache::issuePrefetches(const PrefetchAccess& acc,
+                       std::vector<PrefetchRequest>& candidates)
+{
+    std::uint32_t issued = 0;
+    for (const PrefetchRequest& pr : candidates) {
+        if (issued >= cfg_.max_prefetches_per_access)
+            break;
+        if (pr.block == acc.block)
+            continue;
+        if (contains(pr.block)) {
+            stats_.inc("prefetch_dropped");
+            continue;
+        }
+        MemAccess req;
+        req.pc = acc.pc;
+        req.block = pr.block;
+        req.type = AccessType::Prefetch;
+        req.at = acc.cycle;
+        req.core = acc.core;
+
+        if (pr.fill_level >= 3) {
+            // Fill the next level only; do not pollute this cache.
+            next_.access(req);
+            stats_.inc("prefetch_issued_next_level");
+        } else {
+            const Cycle t = reserveMshr(req.at);
+            req.at = t;
+            const Cycle done = next_.access(req);
+            inflight_.insert(done);
+            insertBlock(req, done);
+            stats_.inc("prefetch_issued");
+            if (prefetcher_)
+                prefetcher_->onFill(pr.block, done);
+        }
+        ++issued;
+    }
+    candidates.clear();
+}
+
+Cycle
+Cache::access(const MemAccess& req)
+{
+    const bool is_demand = (req.type == AccessType::Load ||
+                            req.type == AccessType::Store);
+    const Cycle t = req.at + cfg_.lookup_latency;
+
+    Block* blk = findBlock(req.block);
+    const bool hit = (blk != nullptr);
+
+    if (is_demand) {
+        stats_.inc(req.type == AccessType::Load ? "demand_load_access"
+                                                : "demand_store_access");
+        if (!hit) {
+            stats_.inc(req.type == AccessType::Load ? "demand_load_miss"
+                                                    : "demand_store_miss");
+            stats_.inc("read_miss_total");
+        }
+    } else if (req.type == AccessType::Prefetch && !hit) {
+        stats_.inc("read_miss_total");
+    }
+
+    Cycle ready;
+    if (hit) {
+        if (is_demand) {
+            if (blk->prefetched && !blk->used) {
+                blk->used = true;
+                const bool timely = blk->fill_time <= t;
+                stats_.inc(timely ? "prefetch_useful_timely"
+                                  : "prefetch_useful_late");
+                if (prefetcher_)
+                    prefetcher_->onPrefetchUsed(req.block, timely);
+            }
+            blk->reused = true;
+            const std::uint32_t set = setOf(req.block);
+            const std::size_t base =
+                static_cast<std::size_t>(set) * cfg_.ways;
+            const auto way =
+                static_cast<std::uint32_t>(blk - &blocks_[base]);
+            ReplAccess ctx;
+            ctx.pc = req.pc;
+            repl_->onHit(set, way, ctx);
+        }
+        if (req.type == AccessType::Store ||
+            req.type == AccessType::Writeback)
+            blk->dirty = true;
+        ready = std::max(t, blk->fill_time);
+    } else {
+        if (req.type == AccessType::Writeback) {
+            // Allocate the dirty line without stalling on MSHRs.
+            insertBlock(req, t);
+            ready = t;
+        } else {
+            const Cycle start = reserveMshr(t);
+            MemAccess fwd = req;
+            fwd.at = start;
+            const Cycle done = next_.access(fwd);
+            inflight_.insert(done);
+            insertBlock(req, done);
+            ready = done;
+        }
+    }
+
+    // Train the attached prefetcher on the demand stream at this level.
+    if (is_demand && prefetcher_) {
+        PrefetchAccess acc;
+        acc.pc = req.pc;
+        acc.address = req.block << kBlockShift;
+        acc.block = req.block;
+        acc.hit = hit;
+        acc.is_write = (req.type == AccessType::Store);
+        acc.cycle = t;
+        acc.core = req.core;
+        scratch_candidates_.clear();
+        prefetcher_->train(acc, scratch_candidates_);
+        if (!scratch_candidates_.empty())
+            issuePrefetches(acc, scratch_candidates_);
+    }
+    return ready;
+}
+
+void
+Cache::flush()
+{
+    for (auto& b : blocks_)
+        b = Block{};
+    inflight_.clear();
+    stats_.reset();
+}
+
+} // namespace pythia::sim

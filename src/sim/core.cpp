@@ -1,0 +1,84 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pythia::sim {
+
+Core::Core(const CoreConfig& cfg, std::uint32_t id, MemoryLevel& l1d,
+           wl::Workload& workload)
+    : cfg_(cfg), id_(id), l1d_(l1d), workload_(workload),
+      addr_offset_(static_cast<Addr>(id) << 46),
+      rob_retire_slot_(cfg.rob_size, 0), stats_("core")
+{
+    assert(cfg_.rob_size > 0 && cfg_.width > 0);
+}
+
+void
+Core::dispatch(Cycle completion_cycle)
+{
+    const std::uint32_t width = cfg_.width;
+    std::uint64_t ds = next_dispatch_slot_;
+
+    // ROB occupancy: the instruction rob_size older must have retired.
+    const std::uint64_t rob_idx = instr_count_ % cfg_.rob_size;
+    ds = std::max(ds, rob_retire_slot_[rob_idx]);
+
+    std::uint64_t completion_slot;
+    if (completion_cycle == 0) {
+        completion_slot = ds + cfg_.nonmem_latency * width;
+    } else {
+        completion_slot = std::max(ds + width, completion_cycle * width);
+    }
+
+    // In-order retirement, one slot per instruction.
+    const std::uint64_t retire_slot =
+        std::max(last_retire_slot_ + 1, completion_slot);
+    rob_retire_slot_[rob_idx] = retire_slot;
+    last_retire_slot_ = retire_slot;
+    next_dispatch_slot_ = ds + 1;
+    ++instr_count_;
+}
+
+void
+Core::step()
+{
+    const wl::TraceRecord rec = workload_.next();
+
+    for (std::uint32_t g = 0; g < rec.gap; ++g)
+        dispatch(0);
+
+    Cycle issue_cycle = next_dispatch_slot_ / cfg_.width;
+    // Address-dependent loads cannot issue before the producing load's
+    // data returns (pointer chase / loaded index).
+    if (rec.depends_on_prev && !rec.is_write)
+        issue_cycle = std::max(issue_cycle, last_load_done_);
+
+    MemAccess req;
+    req.pc = rec.pc;
+    req.block = blockAddr(rec.addr + addr_offset_);
+    req.type = rec.is_write ? AccessType::Store : AccessType::Load;
+    req.at = issue_cycle;
+    req.core = id_;
+    const Cycle done = l1d_.access(req);
+
+    if (rec.is_write) {
+        // Stores retire through the store buffer without waiting on memory.
+        dispatch(0);
+        stats_.inc("stores");
+    } else {
+        dispatch(done);
+        last_load_done_ = done;
+        stats_.inc("loads");
+    }
+    stats_.inc("mem_instrs");
+}
+
+void
+Core::runUntil(Cycle until)
+{
+    while (currentCycle() < until)
+        step();
+}
+
+} // namespace pythia::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The full simulated machine: N cores with private L1/L2, a shared LLC
+ * and a shared DRAM pool, wired exactly like the paper's Table 5 system.
+ * Provides the warmup-then-measure methodology of §5 and extracts the
+ * per-run metrics the evaluation uses (IPC, LLC demand/read misses,
+ * prefetch usefulness).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/core.hpp"
+#include "sim/dram.hpp"
+#include "workloads/trace.hpp"
+
+namespace pythia::sim {
+
+/** Whole-machine configuration; defaults reproduce the paper's Table 5
+ *  single-core system. */
+struct SystemConfig
+{
+    std::uint32_t num_cores = 1;
+    CoreConfig core;
+    CacheConfig l1;
+    CacheConfig l2;
+    std::uint64_t llc_bytes_per_core = 2ull << 20; ///< 2MB/core
+    std::uint32_t llc_ways = 16;
+    Cycle llc_latency = 34;
+    std::uint32_t llc_mshrs_per_core = 64;
+    std::string llc_replacement = "ship";
+    DramConfig dram;
+    Cycle quantum = 10000; ///< multi-core interleaving granularity
+
+    SystemConfig();
+
+    /** Scale the DRAM channel count with core count as in §6.2.1
+     *  (1-2C: one channel, 4-6C: two, 8-12C: four). */
+    void applyPaperChannelScaling();
+};
+
+/** Metrics of one measured simulation window. */
+struct RunResult
+{
+    std::vector<double> ipc;             ///< per-core IPC
+    double ipc_geomean = 0.0;            ///< geomean of per-core IPC
+    std::uint64_t instructions = 0;      ///< per-core instruction budget
+    std::uint64_t llc_demand_load_misses = 0;
+    std::uint64_t llc_read_misses = 0;   ///< demand + prefetch misses
+    std::uint64_t prefetch_issued = 0;   ///< at the prefetcher's level
+    std::uint64_t prefetch_useful = 0;
+    std::uint64_t prefetch_useless = 0;
+    std::uint64_t prefetch_late = 0;
+    std::vector<double> dram_buckets;    ///< Fig.14 utilization buckets
+    double dram_utilization = 0.0;
+
+    /** Prefetch accuracy = useful / issued (1.0 when nothing issued). */
+    double accuracy() const;
+};
+
+/**
+ * The machine. Owns every component; workloads are cloned per core by the
+ * caller and handed over at construction.
+ */
+class System
+{
+  public:
+    System(const SystemConfig& cfg,
+           std::vector<std::unique_ptr<wl::Workload>> workloads);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    /** Attach an L2 prefetcher to @p core (the paper's default level). */
+    void attachL2Prefetcher(std::uint32_t core,
+                            std::unique_ptr<PrefetcherApi> pf);
+
+    /** Attach an L1D prefetcher to @p core (multi-level schemes, §6.2.4). */
+    void attachL1Prefetcher(std::uint32_t core,
+                            std::unique_ptr<PrefetcherApi> pf);
+
+    /** Run @p instrs_per_core instructions per core without measuring. */
+    void warmup(std::uint64_t instrs_per_core);
+
+    /** Measure a window of @p instrs_per_core instructions per core. */
+    RunResult run(std::uint64_t instrs_per_core);
+
+    Dram& dram() { return *dram_; }
+    Cache& llc() { return *llc_; }
+    Cache& l2(std::uint32_t core) { return *l2_[core]; }
+    Cache& l1(std::uint32_t core) { return *l1_[core]; }
+    Core& core(std::uint32_t core) { return *cores_[core]; }
+    std::uint32_t numCores() const { return cfg_.num_cores; }
+    const SystemConfig& config() const { return cfg_; }
+
+  private:
+    void resetAllStats();
+
+    SystemConfig cfg_;
+    std::vector<std::unique_ptr<wl::Workload>> workloads_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<DramLevel> dram_level_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<PrefetcherApi>> prefetchers_;
+};
+
+} // namespace pythia::sim

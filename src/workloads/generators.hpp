@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Synthetic workload generators standing in for the paper's SPEC / PARSEC /
+ * Ligra / Cloudsuite traces.
+ *
+ * Each generator reproduces one *pattern class* that the paper's evaluation
+ * hinges on (see DESIGN.md §4):
+ *  - StreamGen        : monotonic streams (libquantum/bwaves-like); favours
+ *                       streamer/Bingo-style full-page prefetching.
+ *  - StrideGen        : constant per-PC strides (lbm-like); favours stride.
+ *  - SpatialRegionGen : recurring region footprints triggered by the first
+ *                       access (sphinx3/canneal/facesim-like); favours
+ *                       Bingo/SMS.
+ *  - DeltaChainGen    : repeating in-page delta sequences (GemsFDTD-like);
+ *                       favours SPP's delta-history lookahead.
+ *  - IrregularGen     : pointer-chasing over a large footprint (mcf-like);
+ *                       punishes overprediction.
+ *  - GraphGen         : CSR-style frontier processing mixing sequential
+ *                       offset scans with irregular neighbour loads under
+ *                       high bandwidth demand (Ligra-like).
+ *  - MixedPhaseGen    : phase-alternating composite (Cloudsuite-like).
+ *  - CaseStudyGen     : the exact "+23 / +11 after first page access"
+ *                       behaviour dissected in the paper's §6.5 case study.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/trace.hpp"
+
+namespace pythia::wl {
+
+/**
+ * Shared knobs for all generators.
+ *
+ * @c mem_ratio controls memory intensity: the average number of non-memory
+ * instructions between memory accesses is (1 - mem_ratio) / mem_ratio. The
+ * paper only evaluates memory-intensive traces (>= 3 LLC MPKI); defaults
+ * here are chosen to keep every generator memory-intensive.
+ */
+struct GenParams
+{
+    double mem_ratio = 0.30;       ///< fraction of instrs that touch memory
+    double write_ratio = 0.10;     ///< fraction of memory ops that are stores
+    /** Fraction of loads whose address depends on the previous load's
+     *  data. Regular numeric kernels sit near 0.2-0.3; pointer chasing
+     *  near 0.9. Controls how latency-bound the workload is. */
+    double dep_ratio = 0.25;
+    std::uint64_t footprint_bytes = 64ull << 20; ///< addressable working set
+};
+
+/** Base class factoring the gap/store sampling shared by all generators. */
+class GenBase : public Workload
+{
+  public:
+    GenBase(std::string name, std::uint64_t seed, GenParams params);
+
+    const std::string& name() const override { return name_; }
+    void reset() override;
+
+    /** Seed this generator was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+  protected:
+    /** Derived classes rebuild their pattern state here on reset(). */
+    virtual void resetState() = 0;
+
+    /** Wrap a byte address into a finished record with sampled gap/store. */
+    TraceRecord emit(Addr pc, Addr addr);
+
+    /** Force the next emitted record to be a load (for trigger accesses). */
+    TraceRecord emitLoad(Addr pc, Addr addr);
+
+    Rng& rng() { return rng_; }
+    const GenParams& params() const { return params_; }
+
+  private:
+    std::string name_;
+    std::uint64_t seed_;
+    GenParams params_;
+    Rng rng_;
+};
+
+/** Monotonic multi-stream generator. */
+class StreamGen : public GenBase
+{
+  public:
+    /**
+     * @param streams   number of concurrently-advancing streams
+     * @param backwards fraction of streams that descend instead of ascend
+     */
+    StreamGen(std::string name, std::uint64_t seed, GenParams params,
+              unsigned streams = 4, double backwards = 0.0);
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    struct Stream { Addr pc; Addr line; std::int32_t dir; };
+    unsigned n_streams_;
+    double backwards_;
+    std::vector<Stream> streams_;
+};
+
+/** Constant per-PC stride generator. */
+class StrideGen : public GenBase
+{
+  public:
+    /** @param strides stride (in cachelines) of each simulated load PC. */
+    StrideGen(std::string name, std::uint64_t seed, GenParams params,
+              std::vector<std::int32_t> strides = {2, 3, 5, 7});
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    struct Walker { Addr pc; Addr line; std::int32_t stride; };
+    std::vector<std::int32_t> strides_;
+    std::vector<Walker> walkers_;
+};
+
+/** Recurring region-footprint generator (SMS/Bingo-friendly). */
+class SpatialRegionGen : public GenBase
+{
+  public:
+    /**
+     * @param n_patterns  distinct footprint patterns (keyed by trigger PC)
+     * @param density     fraction of the 64 lines of a region that are
+     *                    touched by each footprint
+     * @param concurrency region visits in flight at once; interleaving
+     *                    gives prefetchers timeliness headroom, like the
+     *                    multiple live data structures of real workloads
+     */
+    SpatialRegionGen(std::string name, std::uint64_t seed, GenParams params,
+                     unsigned n_patterns = 6, double density = 0.4,
+                     unsigned concurrency = 4);
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    struct Visit
+    {
+        Addr page = 0;
+        unsigned pattern = 0;
+        std::size_t cursor = 0;
+    };
+
+    void startRegion(Visit& v);
+
+    unsigned n_patterns_;
+    double density_;
+    unsigned concurrency_;
+    std::vector<std::vector<std::uint8_t>> patterns_; ///< offsets per pattern
+    std::vector<Visit> visits_;
+    std::size_t active_visit_ = 0;
+    unsigned burst_left_ = 0;
+};
+
+/** Repeating in-page delta-sequence generator (SPP-friendly). */
+class DeltaChainGen : public GenBase
+{
+  public:
+    /** @param deltas repeating delta pattern, in cachelines (all > 0). */
+    DeltaChainGen(std::string name, std::uint64_t seed, GenParams params,
+                  std::vector<std::int32_t> deltas = {1, 2, 1, 3});
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    std::vector<std::int32_t> deltas_;
+    Addr page_ = 0;
+    std::int32_t offset_ = 0;
+    std::size_t delta_idx_ = 0;
+};
+
+/** Pointer-chasing generator with no learnable pattern (mcf-like). */
+class IrregularGen : public GenBase
+{
+  public:
+    /**
+     * @param stride_fraction fraction of accesses that come from a regular
+     *                        auxiliary loop (index arrays etc.)
+     */
+    IrregularGen(std::string name, std::uint64_t seed, GenParams params,
+                 double stride_fraction = 0.2);
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    double stride_fraction_;
+    std::uint64_t chase_state_ = 0;
+    Addr aux_line_ = 0;
+};
+
+/** CSR graph-processing generator (Ligra-like, bandwidth hungry). */
+class GraphGen : public GenBase
+{
+  public:
+    /**
+     * @param avg_degree   average edges scanned per visited vertex
+     * @param irregularity fraction of per-edge data loads that land on a
+     *                     random vertex (vs. a nearby one)
+     */
+    GraphGen(std::string name, std::uint64_t seed, GenParams params,
+             unsigned avg_degree = 8, double irregularity = 0.8);
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    unsigned avg_degree_;
+    double irregularity_;
+    Addr offsets_line_ = 0;   ///< sequential scan of the CSR offsets array
+    Addr edges_line_ = 0;     ///< sequential scan of the CSR edges array
+    unsigned edges_left_ = 0; ///< edges remaining for the current vertex
+    unsigned phase_ = 0;      ///< rotates offsets -> edges -> data loads
+};
+
+/** Phase-alternating composite generator (Cloudsuite-like). */
+class MixedPhaseGen : public GenBase
+{
+  public:
+    /**
+     * @param children  sub-generators to rotate through
+     * @param phase_len records emitted per phase before switching
+     */
+    MixedPhaseGen(std::string name, std::uint64_t seed,
+                  std::vector<std::unique_ptr<Workload>> children,
+                  std::size_t phase_len = 20000);
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+  protected:
+    void resetState() override;
+
+  private:
+    std::vector<std::unique_ptr<Workload>> children_;
+    std::size_t phase_len_;
+    std::size_t emitted_ = 0;
+    std::size_t active_ = 0;
+};
+
+/** The §6.5 case-study pattern: first access to a page at a known PC is
+ *  followed by exactly one more access +23 (or +11) lines ahead. */
+class CaseStudyGen : public GenBase
+{
+  public:
+    CaseStudyGen(std::string name, std::uint64_t seed, GenParams params);
+
+    TraceRecord next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+    /** Trigger PC whose pages get a +23 companion access. */
+    static constexpr Addr kPc23 = 0x436a81;
+    /** Trigger PC whose pages get a +11 companion access. */
+    static constexpr Addr kPc11 = 0x4377c5;
+
+  protected:
+    void resetState() override;
+
+  private:
+    Addr page_ = 0;
+    int stage_ = 0;       ///< 0 = trigger access, 1 = companion access
+    bool use_23_ = true;  ///< alternates between the two trigger PCs
+};
+
+} // namespace pythia::wl

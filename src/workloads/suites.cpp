@@ -1,0 +1,288 @@
+#include "workloads/suites.hpp"
+
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+
+namespace pythia::wl {
+
+namespace {
+
+/// Deterministic per-name seed: same workload name => same trace.
+std::uint64_t
+nameSeed(const std::string& name)
+{
+    std::uint64_t h = 0xB16B00B5ull;
+    for (char c : name)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    return h | 1;
+}
+
+GenParams
+memParams(double mem_ratio, std::uint64_t footprint_mb = 64)
+{
+    GenParams p;
+    // The catalog expresses *relative* memory intensity; the absolute
+    // ratio is scaled so that the no-prefetch baseline is latency-bound
+    // rather than bus-saturated (prefetching then pays off by hiding
+    // latency, as on the paper's systems, while the low-MTPS sweeps of
+    // Fig. 8(b) still drive the bus into saturation).
+    p.mem_ratio = 0.5 * mem_ratio;
+    p.dep_ratio = 0.45;
+    p.footprint_bytes = footprint_mb << 20;
+    return p;
+}
+
+WorkloadSpec
+spec(std::string name, std::string suite,
+     std::function<std::unique_ptr<Workload>(std::uint64_t)> make)
+{
+    return WorkloadSpec{std::move(name), std::move(suite), std::move(make)};
+}
+
+/// Builds a Cloudsuite-like phase mix of spatial + irregular + stream.
+std::unique_ptr<Workload>
+makeCloudMix(const std::string& name, std::uint64_t seed, double irr_frac,
+             std::size_t phase_len)
+{
+    std::vector<std::unique_ptr<Workload>> kids;
+    kids.push_back(std::make_unique<SpatialRegionGen>(
+        name + ".spatial", mix64(seed ^ 1), memParams(0.30), 8, 0.3));
+    kids.push_back(std::make_unique<IrregularGen>(
+        name + ".irr", mix64(seed ^ 2), memParams(0.30), irr_frac));
+    kids.push_back(std::make_unique<StreamGen>(
+        name + ".stream", mix64(seed ^ 3), memParams(0.25), 2));
+    return std::make_unique<MixedPhaseGen>(name, seed, std::move(kids),
+                                           phase_len);
+}
+
+std::vector<WorkloadSpec>
+buildCatalog()
+{
+    std::vector<WorkloadSpec> v;
+
+    // ---- SPEC06-like -----------------------------------------------------
+    v.push_back(spec("482.sphinx3-417B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<SpatialRegionGen>(
+            "482.sphinx3-417B", s, memParams(0.30), 6, 0.35);
+    }));
+    v.push_back(spec("459.GemsFDTD-765B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<DeltaChainGen>(
+            "459.GemsFDTD-765B", s, memParams(0.32),
+            std::vector<std::int32_t>{1, 2, 1, 3});
+    }));
+    v.push_back(spec("459.GemsFDTD-1320B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<CaseStudyGen>(
+            "459.GemsFDTD-1320B", s, memParams(0.32));
+    }));
+    v.push_back(spec("429.mcf-184B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<IrregularGen>(
+            "429.mcf-184B", s, memParams(0.33, 96), 0.15);
+    }));
+    v.push_back(spec("462.libquantum-1343B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<StreamGen>(
+            "462.libquantum-1343B", s, memParams(0.35), 1);
+    }));
+    v.push_back(spec("470.lbm-164B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<StrideGen>(
+            "470.lbm-164B", s, memParams(0.33),
+            std::vector<std::int32_t>{2, 3});
+    }));
+    v.push_back(spec("410.bwaves-945B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<StreamGen>(
+            "410.bwaves-945B", s, memParams(0.33), 8);
+    }));
+    v.push_back(spec("433.milc-127B", "SPEC06", [](std::uint64_t s) {
+        return std::make_unique<DeltaChainGen>(
+            "433.milc-127B", s, memParams(0.30),
+            std::vector<std::int32_t>{2, 3, 2, 5});
+    }));
+
+    // ---- SPEC17-like -----------------------------------------------------
+    v.push_back(spec("603.bwaves_s-2931B", "SPEC17", [](std::uint64_t s) {
+        return std::make_unique<StreamGen>(
+            "603.bwaves_s-2931B", s, memParams(0.36), 6);
+    }));
+    v.push_back(spec("605.mcf_s-665B", "SPEC17", [](std::uint64_t s) {
+        return std::make_unique<IrregularGen>(
+            "605.mcf_s-665B", s, memParams(0.32, 96), 0.2);
+    }));
+    v.push_back(spec("619.lbm_s-4268B", "SPEC17", [](std::uint64_t s) {
+        return std::make_unique<StrideGen>(
+            "619.lbm_s-4268B", s, memParams(0.34),
+            std::vector<std::int32_t>{3, 5});
+    }));
+    v.push_back(spec("654.roms_s-842B", "SPEC17", [](std::uint64_t s) {
+        return std::make_unique<DeltaChainGen>(
+            "654.roms_s-842B", s, memParams(0.30),
+            std::vector<std::int32_t>{1, 1, 2, 4});
+    }));
+    v.push_back(spec("623.xalancbmk_s-592B", "SPEC17", [](std::uint64_t s) {
+        return std::make_unique<IrregularGen>(
+            "623.xalancbmk_s-592B", s, memParams(0.28, 32), 0.45);
+    }));
+    v.push_back(spec("602.gcc_s-734B", "SPEC17", [](std::uint64_t s) {
+        return makeCloudMix("602.gcc_s-734B", s, 0.35, 8000);
+    }));
+
+    // ---- PARSEC-like -----------------------------------------------------
+    v.push_back(spec("PARSEC-Canneal", "PARSEC", [](std::uint64_t s) {
+        return std::make_unique<SpatialRegionGen>(
+            "PARSEC-Canneal", s, memParams(0.30), 8, 0.45);
+    }));
+    v.push_back(spec("PARSEC-Facesim", "PARSEC", [](std::uint64_t s) {
+        return std::make_unique<SpatialRegionGen>(
+            "PARSEC-Facesim", s, memParams(0.28), 5, 0.5);
+    }));
+    v.push_back(spec("PARSEC-Streamcluster", "PARSEC", [](std::uint64_t s) {
+        return std::make_unique<StreamGen>(
+            "PARSEC-Streamcluster", s, memParams(0.33), 3);
+    }));
+    v.push_back(spec("PARSEC-Raytrace", "PARSEC", [](std::uint64_t s) {
+        return std::make_unique<IrregularGen>(
+            "PARSEC-Raytrace", s, memParams(0.26, 48), 0.3);
+    }));
+    v.push_back(spec("PARSEC-Fluidanimate", "PARSEC", [](std::uint64_t s) {
+        return std::make_unique<StrideGen>(
+            "PARSEC-Fluidanimate", s, memParams(0.30),
+            std::vector<std::int32_t>{1, 2, 6});
+    }));
+
+    // ---- Ligra-like (bandwidth hungry graph processing) -------------------
+    struct GraphCfg { const char* name; unsigned deg; double irr; double mr; };
+    const GraphCfg graphs[] = {
+        {"Ligra-PageRank",      16, 0.70, 0.42},
+        {"Ligra-PageRankDelta", 12, 0.75, 0.40},
+        {"Ligra-CC",            10, 0.80, 0.42},
+        {"Ligra-BFS",            6, 0.85, 0.38},
+        {"Ligra-BC",             8, 0.80, 0.40},
+        {"Ligra-BellmanFord",   10, 0.75, 0.40},
+        {"Ligra-Triangle",      20, 0.65, 0.42},
+        {"Ligra-Radii",          8, 0.80, 0.38},
+        {"Ligra-MIS",            6, 0.85, 0.36},
+        {"Ligra-BFSCC",          6, 0.85, 0.38},
+    };
+    for (const auto& g : graphs) {
+        const std::string nm = g.name;
+        const unsigned deg = g.deg;
+        const double irr = g.irr;
+        const double mr = g.mr;
+        v.push_back(spec(nm, "Ligra", [nm, deg, irr, mr](std::uint64_t s) {
+            return std::make_unique<GraphGen>(nm, s, memParams(mr, 96), deg,
+                                              irr);
+        }));
+    }
+
+    // ---- Cloudsuite-like ---------------------------------------------------
+    v.push_back(spec("Cloudsuite-Cassandra", "Cloudsuite",
+                     [](std::uint64_t s) {
+        return makeCloudMix("Cloudsuite-Cassandra", s, 0.30, 12000);
+    }));
+    v.push_back(spec("Cloudsuite-Cloud9", "Cloudsuite", [](std::uint64_t s) {
+        return makeCloudMix("Cloudsuite-Cloud9", s, 0.40, 6000);
+    }));
+    v.push_back(spec("Cloudsuite-Nutch", "Cloudsuite", [](std::uint64_t s) {
+        return makeCloudMix("Cloudsuite-Nutch", s, 0.25, 9000);
+    }));
+    v.push_back(spec("Cloudsuite-Classification", "Cloudsuite",
+                     [](std::uint64_t s) {
+        return makeCloudMix("Cloudsuite-Classification", s, 0.35, 15000);
+    }));
+
+    return v;
+}
+
+std::vector<WorkloadSpec>
+buildUnseenCatalog()
+{
+    // Held-out seeds and parameter draws never used anywhere else — the
+    // moral equivalent of the CVP-2 traces of §6.4.
+    std::vector<WorkloadSpec> v;
+    v.push_back(spec("crypto-aes-17", "Crypto", [](std::uint64_t s) {
+        return std::make_unique<StrideGen>(
+            "crypto-aes-17", s, memParams(0.25, 16),
+            std::vector<std::int32_t>{1, 1, 4});
+    }));
+    v.push_back(spec("crypto-sha-5", "Crypto", [](std::uint64_t s) {
+        return std::make_unique<StreamGen>(
+            "crypto-sha-5", s, memParams(0.28), 2);
+    }));
+    v.push_back(spec("int-41", "INT", [](std::uint64_t s) {
+        return makeCloudMix("int-41", s, 0.30, 7000);
+    }));
+    v.push_back(spec("int-112", "INT", [](std::uint64_t s) {
+        return std::make_unique<IrregularGen>(
+            "int-112", s, memParams(0.30, 48), 0.35);
+    }));
+    v.push_back(spec("fp-23", "FP", [](std::uint64_t s) {
+        return std::make_unique<DeltaChainGen>(
+            "fp-23", s, memParams(0.33),
+            std::vector<std::int32_t>{1, 3, 1, 5});
+    }));
+    v.push_back(spec("fp-77", "FP", [](std::uint64_t s) {
+        return std::make_unique<StreamGen>(
+            "fp-77", s, memParams(0.34), 5);
+    }));
+    v.push_back(spec("srv-9", "Server", [](std::uint64_t s) {
+        return std::make_unique<GraphGen>(
+            "srv-9", s, memParams(0.38, 96), 9, 0.75);
+    }));
+    v.push_back(spec("srv-62", "Server", [](std::uint64_t s) {
+        return makeCloudMix("srv-62", s, 0.45, 10000);
+    }));
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec>&
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> catalog = buildCatalog();
+    return catalog;
+}
+
+const std::vector<WorkloadSpec>&
+unseenWorkloads()
+{
+    static const std::vector<WorkloadSpec> catalog = buildUnseenCatalog();
+    return catalog;
+}
+
+const std::vector<std::string>&
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "SPEC06", "SPEC17", "PARSEC", "Ligra", "Cloudsuite"};
+    return names;
+}
+
+std::vector<const WorkloadSpec*>
+suiteWorkloads(const std::string& suite)
+{
+    std::vector<const WorkloadSpec*> out;
+    for (const auto& w : allWorkloads())
+        if (w.suite == suite)
+            out.push_back(&w);
+    return out;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string& name, std::uint64_t seed_override)
+{
+    auto find_in = [&](const std::vector<WorkloadSpec>& catalog)
+        -> std::unique_ptr<Workload> {
+        for (const auto& w : catalog)
+            if (w.name == name)
+                return w.make(seed_override ? seed_override
+                                            : nameSeed(name));
+        return nullptr;
+    };
+    if (auto w = find_in(allWorkloads()))
+        return w;
+    if (auto w = find_in(unseenWorkloads()))
+        return w;
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+} // namespace pythia::wl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named workload catalog mirroring the paper's evaluation suites (§5.1,
+ * Table 6): SPEC06, SPEC17, PARSEC, Ligra, Cloudsuite, plus the "unseen"
+ * CVP-2-like suite of §6.4. Every entry maps a paper-style trace name to a
+ * synthetic generator configuration (see DESIGN.md §4 for the substitution
+ * rationale).
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/generators.hpp"
+
+namespace pythia::wl {
+
+/** Catalog entry: a named, suite-tagged workload factory. */
+struct WorkloadSpec
+{
+    std::string name;   ///< trace-style name, e.g. "482.sphinx3-417B"
+    std::string suite;  ///< SPEC06 | SPEC17 | PARSEC | Ligra | Cloudsuite
+    std::function<std::unique_ptr<Workload>(std::uint64_t seed)> make;
+};
+
+/** All workloads of the five main suites, in stable order. */
+const std::vector<WorkloadSpec>& allWorkloads();
+
+/** The held-out "unseen traces" suite (crypto / INT / FP / server). */
+const std::vector<WorkloadSpec>& unseenWorkloads();
+
+/** Names of the five main suites, in paper order. */
+const std::vector<std::string>& suiteNames();
+
+/** Workloads belonging to @p suite (subset of allWorkloads()). */
+std::vector<const WorkloadSpec*> suiteWorkloads(const std::string& suite);
+
+/**
+ * Instantiate a workload by catalog name (searches the main and unseen
+ * catalogs). @p seed_override of 0 keeps the catalog's deterministic seed.
+ * @throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string& name,
+                                       std::uint64_t seed_override = 0);
+
+} // namespace pythia::wl

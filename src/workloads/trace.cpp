@@ -1,0 +1,97 @@
+#include "workloads/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pythia::wl {
+
+namespace {
+
+/// Magic bytes identifying our binary trace format, version 2.
+constexpr std::uint32_t kTraceMagic = 0x50595432; // "PYT2"
+
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint32_t gap;
+    std::uint16_t is_write;
+    std::uint16_t depends_on_prev;
+};
+
+} // namespace
+
+bool
+writeTraceFile(const std::string& path, Workload& w, std::size_t n)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    const std::uint32_t magic = kTraceMagic;
+    const std::uint64_t count = n;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord r = w.next();
+        const DiskRecord d{r.pc, r.addr, r.gap,
+                           static_cast<std::uint16_t>(r.is_write ? 1 : 0),
+                           static_cast<std::uint16_t>(
+                               r.depends_on_prev ? 1 : 0)};
+        out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    return static_cast<bool>(out);
+}
+
+FileWorkload::FileWorkload(const std::string& path) : name_(path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+    std::uint32_t magic = 0;
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in || magic != kTraceMagic)
+        throw std::runtime_error("bad trace file header: " + path);
+    records_.resize(count);
+    for (auto& r : records_) {
+        DiskRecord d{};
+        in.read(reinterpret_cast<char*>(&d), sizeof(d));
+        if (!in)
+            throw std::runtime_error("truncated trace file: " + path);
+        r = TraceRecord{d.pc, d.addr, d.gap, d.is_write != 0,
+                        d.depends_on_prev != 0};
+    }
+    if (records_.empty())
+        throw std::runtime_error("empty trace file: " + path);
+}
+
+FileWorkload::FileWorkload(std::string name, std::vector<TraceRecord> records)
+    : name_(std::move(name)), records_(std::move(records))
+{
+    if (records_.empty())
+        throw std::runtime_error("empty in-memory trace: " + name_);
+}
+
+TraceRecord
+FileWorkload::next()
+{
+    const TraceRecord r = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    return r;
+}
+
+void
+FileWorkload::reset()
+{
+    pos_ = 0;
+}
+
+std::unique_ptr<Workload>
+FileWorkload::clone(std::uint64_t /*reseed*/) const
+{
+    auto copy = std::make_unique<FileWorkload>(name_, records_);
+    return copy;
+}
+
+} // namespace pythia::wl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Trace record definition, the Workload streaming interface and binary
+ * trace file I/O.
+ *
+ * The paper evaluates on ChampSim instruction traces from SPEC / PARSEC /
+ * Ligra / Cloudsuite. We reproduce that substrate with synthetic workload
+ * generators (see generators.hpp) that all speak this same Workload
+ * interface; a trace can also be serialized to disk and replayed through
+ * FileWorkload, mirroring the trace-driven methodology of the paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pythia::wl {
+
+/**
+ * One memory instruction of a workload trace.
+ *
+ * Non-memory instructions are run-length encoded in @ref gap: the number
+ * of non-memory instructions the core executes before this memory access.
+ * This keeps traces compact while preserving instruction counts (IPC is
+ * computed over all instructions, as in ChampSim).
+ */
+struct TraceRecord
+{
+    Addr pc = 0;          ///< program counter of the memory instruction
+    Addr addr = 0;        ///< byte address accessed
+    std::uint32_t gap = 0;///< non-memory instructions preceding this access
+    bool is_write = false;///< store (true) or load (false)
+    /** True when this load's address depends on the previous load's data
+     *  (pointer chase, loaded index). Dependent loads cannot issue before
+     *  the previous load completes — the serialization that makes
+     *  prefetching pay off in real programs. */
+    bool depends_on_prev = false;
+};
+
+/**
+ * An endless, replayable stream of trace records.
+ *
+ * Generators are deterministic functions of their seed; reset() rewinds to
+ * the exact same stream, and clone(seed) produces an independent instance
+ * (used to build multi-programmed mixes, §5.1 of the paper).
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next record of the stream. */
+    virtual TraceRecord next() = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+
+    /** Stable human-readable name (used in tables). */
+    virtual const std::string& name() const = 0;
+
+    /** Independent copy, optionally re-seeded (0 keeps the seed). */
+    virtual std::unique_ptr<Workload> clone(std::uint64_t reseed = 0)
+        const = 0;
+};
+
+/**
+ * Write @p n records of @p w to a binary trace file.
+ * @return false on I/O failure.
+ */
+bool writeTraceFile(const std::string& path, Workload& w, std::size_t n);
+
+/**
+ * A Workload that replays a binary trace file from memory, looping when it
+ * reaches the end (ChampSim replays a trace until the simulation budget is
+ * exhausted, §5 of the paper).
+ */
+class FileWorkload : public Workload
+{
+  public:
+    /** Load a trace file; throws std::runtime_error when unreadable. */
+    explicit FileWorkload(const std::string& path);
+
+    /** Build from an in-memory record vector (test convenience). */
+    FileWorkload(std::string name, std::vector<TraceRecord> records);
+
+    TraceRecord next() override;
+    void reset() override;
+    const std::string& name() const override { return name_; }
+    std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
+
+    /** Number of records before the stream loops. */
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace pythia::wl

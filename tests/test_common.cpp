@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the common utilities: address helpers, RNG determinism,
+ * hashing, stats, tables and config parsing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/hashing.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace pythia {
+namespace {
+
+// ---------------------------------------------------------------------- types
+
+TEST(Types, BlockAddrDropsOffsetBits)
+{
+    EXPECT_EQ(blockAddr(0), 0u);
+    EXPECT_EQ(blockAddr(63), 0u);
+    EXPECT_EQ(blockAddr(64), 1u);
+    EXPECT_EQ(blockAddr(4096), 64u);
+}
+
+TEST(Types, BlockBaseAlignsDown)
+{
+    EXPECT_EQ(blockBase(0), 0u);
+    EXPECT_EQ(blockBase(65), 64u);
+    EXPECT_EQ(blockBase(127), 64u);
+}
+
+TEST(Types, PageIdAndOffset)
+{
+    EXPECT_EQ(pageId(0), 0u);
+    EXPECT_EQ(pageId(4095), 0u);
+    EXPECT_EQ(pageId(4096), 1u);
+    EXPECT_EQ(pageOffset(0), 0u);
+    EXPECT_EQ(pageOffset(64), 1u);
+    EXPECT_EQ(pageOffset(4095), 63u);
+    EXPECT_EQ(pageOffset(4096), 0u);
+}
+
+TEST(Types, PageIdOfBlockMatchesByteVersion)
+{
+    for (Addr byte : {0ull, 4096ull, 1ull << 20, 123456789ull})
+        EXPECT_EQ(pageIdOfBlock(blockAddr(byte)), pageId(byte));
+}
+
+TEST(Types, SamePageAfterOffsetWithinPage)
+{
+    // Block 0 of a page: offsets up to +63 stay inside.
+    const Addr block = blockAddr(1ull << 20);
+    EXPECT_TRUE(sameePageAfterOffset(block, 63));
+    EXPECT_FALSE(sameePageAfterOffset(block, 64));
+    EXPECT_FALSE(sameePageAfterOffset(block, -1));
+}
+
+TEST(Types, SamePageAfterOffsetMidPage)
+{
+    const Addr block = blockAddr(1ull << 20) + 32;
+    EXPECT_TRUE(sameePageAfterOffset(block, 31));
+    EXPECT_FALSE(sameePageAfterOffset(block, 32));
+    EXPECT_TRUE(sameePageAfterOffset(block, -32));
+    EXPECT_FALSE(sameePageAfterOffset(block, -33));
+}
+
+TEST(Types, SamePageAfterOffsetNearZero)
+{
+    EXPECT_FALSE(sameePageAfterOffset(0, -1));
+    EXPECT_TRUE(sameePageAfterOffset(1, -1));
+}
+
+// ----------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next64() == b.next64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliFrequencyApproximatesP)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, HeavyTailBounded)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextHeavyTail(64);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 64u);
+    }
+}
+
+// ------------------------------------------------------------------- hashing
+
+TEST(Hashing, Mix64Avalanches)
+{
+    // Flipping one input bit should flip roughly half the output bits.
+    const std::uint64_t h0 = mix64(0x1234567890ABCDEFull);
+    const std::uint64_t h1 = mix64(0x1234567890ABCDEEull);
+    const int diff = __builtin_popcountll(h0 ^ h1);
+    EXPECT_GT(diff, 16);
+    EXPECT_LT(diff, 48);
+}
+
+TEST(Hashing, FoldedXorWidth)
+{
+    for (unsigned bits : {4u, 7u, 12u, 16u}) {
+        const std::uint32_t v = foldedXor(0xDEADBEEFCAFEF00Dull, bits);
+        EXPECT_LT(v, 1u << bits);
+    }
+}
+
+TEST(Hashing, PlaneIndexWithinRange)
+{
+    for (std::uint64_t f = 0; f < 1000; ++f)
+        EXPECT_LT(planeIndex(f, 3, 7), 128u);
+}
+
+TEST(Hashing, DistinctPlaneShiftsDecorrelate)
+{
+    // Two planes should disagree on the row for most feature values.
+    int same = 0;
+    for (std::uint64_t f = 0; f < 1000; ++f)
+        same += (planeIndex(f, 3, 7) == planeIndex(f, 11, 7));
+    EXPECT_LT(same, 100);
+}
+
+TEST(Hashing, PlaneIndexSpreads)
+{
+    std::set<std::uint32_t> rows;
+    for (std::uint64_t f = 0; f < 512; ++f)
+        rows.insert(planeIndex(f, 3, 7));
+    EXPECT_GT(rows.size(), 100u); // most of the 128 rows are used
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup g("test");
+    g.inc("a");
+    g.inc("a", 4);
+    EXPECT_EQ(g.counter("a"), 5u);
+    EXPECT_EQ(g.counter("missing"), 0u);
+}
+
+TEST(Stats, ValuesSetAndReset)
+{
+    StatGroup g;
+    g.set("ipc", 1.25);
+    EXPECT_DOUBLE_EQ(g.value("ipc"), 1.25);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value("ipc"), 0.0);
+    EXPECT_TRUE(g.has("ipc")); // names survive reset
+}
+
+TEST(Stats, DumpContainsPrefix)
+{
+    StatGroup g("l2");
+    g.inc("hits", 3);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("l2.hits 3"), std::string::npos);
+}
+
+// --------------------------------------------------------------------- table
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.034, 1), "+3.4%");
+    EXPECT_EQ(Table::pct(-0.021, 1), "-2.1%");
+}
+
+TEST(Table, CellsRoundTrip)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cell(1, 0), "3");
+}
+
+TEST(Table, CsvWritten)
+{
+    Table t("csv");
+    t.setHeader({"x"});
+    t.addRow({"42"});
+    const std::string path = "/tmp/pythia_test_table.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "x\n");
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Table, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+// -------------------------------------------------------------------- config
+
+TEST(Config, TypedAccessors)
+{
+    Config c;
+    c.set("s", "hello");
+    c.setInt("i", -7);
+    c.setDouble("d", 0.5);
+    c.set("b", "true");
+    EXPECT_EQ(c.getString("s"), "hello");
+    EXPECT_EQ(c.getInt("i"), -7);
+    EXPECT_DOUBLE_EQ(c.getDouble("d"), 0.5);
+    EXPECT_TRUE(c.getBool("b"));
+    EXPECT_EQ(c.getInt("missing", 9), 9);
+}
+
+TEST(Config, RejectsMalformedValues)
+{
+    Config c;
+    c.set("i", "12x");
+    EXPECT_THROW(c.getInt("i"), std::invalid_argument);
+    c.set("b", "maybe");
+    EXPECT_THROW(c.getBool("b"), std::invalid_argument);
+}
+
+TEST(Config, ParseArgs)
+{
+    const char* argv[] = {"prog", "workload=mcf", "mtps=600", "--junk"};
+    Config c;
+    const auto ignored = c.parseArgs(4, argv);
+    EXPECT_EQ(c.getString("workload"), "mcf");
+    EXPECT_EQ(c.getInt("mtps"), 600);
+    ASSERT_EQ(ignored.size(), 1u);
+    EXPECT_EQ(ignored[0], "--junk");
+}
+
+} // namespace
+} // namespace pythia

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the multi-action degree extension (top-k Q-gated actions per
+ * demand) and the QVStore::topActions helper backing it.
+ */
+#include <gtest/gtest.h>
+
+#include "core/agent.hpp"
+#include "core/configs.hpp"
+#include "core/qvstore.hpp"
+
+namespace pythia::rl {
+namespace {
+
+constexpr Addr kBase = 1ull << 20;
+
+QVStoreConfig
+qvCfg()
+{
+    QVStoreConfig cfg;
+    cfg.num_features = 1;
+    cfg.num_planes = 2;
+    cfg.plane_index_bits = 7;
+    cfg.num_actions = 5;
+    cfg.alpha = 0.5;
+    cfg.gamma = 0.5;
+    cfg.q_init = 0.0;
+    return cfg;
+}
+
+TEST(TopActions, OrderedByQ)
+{
+    QVStore qv(qvCfg());
+    const std::vector<std::uint64_t> s = {11};
+    for (int i = 0; i < 10; ++i) {
+        qv.update(s, 2, 40.0, s, 2);
+        qv.update(s, 4, 20.0, s, 4);
+    }
+    const auto top = qv.topActions(s, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0], 2u);
+    EXPECT_EQ(top[1], 4u);
+}
+
+TEST(TopActions, KOneMatchesMaxAction)
+{
+    QVStore qv(qvCfg());
+    const std::vector<std::uint64_t> s = {7};
+    qv.update(s, 3, 25.0, s, 3);
+    const auto top = qv.topActions(s, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0], qv.maxAction(s));
+}
+
+TEST(TopActions, KClampedToActionCount)
+{
+    QVStore qv(qvCfg());
+    const std::vector<std::uint64_t> s = {7};
+    EXPECT_EQ(qv.topActions(s, 99).size(), 5u);
+}
+
+sim::PrefetchAccess
+demand(Addr block, Cycle cycle)
+{
+    sim::PrefetchAccess a;
+    a.pc = 0x42;
+    a.block = block;
+    a.cycle = cycle;
+    return a;
+}
+
+TEST(Degree, DegreeOneNeverEmitsMoreThanOne)
+{
+    PythiaConfig cfg;
+    cfg.degree = 1;
+    cfg.epsilon = 0.0;
+    PythiaPrefetcher agent(cfg);
+    std::vector<sim::PrefetchRequest> out;
+    for (int i = 0; i < 500; ++i) {
+        out.clear();
+        agent.train(demand(kBase + i % 64, i * 10), out);
+        EXPECT_LE(out.size(), 1u);
+    }
+}
+
+TEST(Degree, HigherDegreeCanEmitMore)
+{
+    // A learnable +1 stream with rewards flowing: several positive-Q
+    // actions emerge and clear the Q-gate, so the agent uses its degree.
+    PythiaConfig cfg = scaledForSimLength(basicPythiaConfig());
+    cfg.epsilon = 0.0;
+    PythiaPrefetcher agent(cfg);
+    std::vector<sim::PrefetchRequest> out;
+    std::size_t max_emitted = 0;
+    for (int i = 0; i < 20000; ++i) {
+        out.clear();
+        agent.train(demand(kBase + (i % 4096), i * 10), out);
+        for (const auto& pr : out)
+            agent.onFill(pr.block, i * 10 + 5);
+        max_emitted = std::max(max_emitted, out.size());
+        EXPECT_LE(out.size(), 3u);
+    }
+    EXPECT_GT(max_emitted, 1u);
+}
+
+TEST(Degree, GateSuppressesSecondariesWhenAgentLearnsQuiet)
+{
+    // Random demands: after training, the no-prefetch action dominates
+    // and degree>1 must not force extra prefetches out.
+    PythiaConfig cfg = scaledForSimLength(basicPythiaConfig());
+    cfg.epsilon = 0.0;
+    PythiaPrefetcher agent(cfg);
+    Rng rng(21);
+    std::vector<sim::PrefetchRequest> out;
+    std::size_t late_emissions = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        out.clear();
+        agent.train(demand(kBase + rng.nextBounded(1u << 24), i * 10),
+                    out);
+        if (i > n - 5000)
+            late_emissions += out.size();
+    }
+    EXPECT_LT(late_emissions, 2500u);
+}
+
+TEST(Degree, ScaledConfigUsesDegreeThree)
+{
+    EXPECT_EQ(scaledForSimLength(basicPythiaConfig()).degree, 3u);
+    EXPECT_EQ(basicPythiaConfig().degree, 1u); // paper default untouched
+}
+
+} // namespace
+} // namespace pythia::rl

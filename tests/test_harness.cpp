@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Integration tests across modules: the harness runner, the paper's
+ * metric formulas, baseline caching, multi-level prefetching and
+ * end-to-end behavioural properties of whole simulations (who should win
+ * on which pattern class, monotonicity in machine parameters).
+ */
+#include <gtest/gtest.h>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia::harness {
+namespace {
+
+ExperimentSpec
+quickSpec(const std::string& workload, const std::string& pf)
+{
+    ExperimentSpec spec;
+    spec.workload = workload;
+    spec.prefetcher = pf;
+    spec.warmup_instrs = 30'000;
+    spec.sim_instrs = 80'000;
+    return spec;
+}
+
+// ------------------------------------------------------------------- metrics
+
+TEST(Metrics, FormulasMatchArtifactAppendix)
+{
+    sim::RunResult base, with;
+    base.ipc_geomean = 1.0;
+    base.llc_demand_load_misses = 1000;
+    base.llc_read_misses = 1000;
+    with.ipc_geomean = 1.2;
+    with.llc_demand_load_misses = 300;
+    with.llc_read_misses = 1400;
+    with.prefetch_issued = 800;
+    with.prefetch_useful = 600;
+
+    const Metrics m = computeMetrics(with, base);
+    EXPECT_NEAR(m.speedup, 1.2, 1e-12);
+    EXPECT_NEAR(m.coverage, 0.7, 1e-12);       // (1000-300)/1000
+    EXPECT_NEAR(m.overprediction, 0.4, 1e-12); // (1400-1000)/1000
+    EXPECT_NEAR(m.accuracy, 0.75, 1e-12);
+}
+
+TEST(Metrics, NegativeOverpredictionClampsToZero)
+{
+    sim::RunResult base, with;
+    base.ipc_geomean = 1.0;
+    base.llc_read_misses = 1000;
+    with.ipc_geomean = 1.0;
+    with.llc_read_misses = 900;
+    EXPECT_DOUBLE_EQ(computeMetrics(with, base).overprediction, 0.0);
+}
+
+TEST(Metrics, AccuracyDefaultsToOneWithoutPrefetches)
+{
+    sim::RunResult r;
+    EXPECT_DOUBLE_EQ(r.accuracy(), 1.0);
+}
+
+// -------------------------------------------------------------------- runner
+
+TEST(Runner, MakePrefetcherKnowsAllNames)
+{
+    for (const auto& name : harnessPrefetcherNames()) {
+        auto pf = makePrefetcher(name);
+        ASSERT_NE(pf, nullptr) << name;
+    }
+    EXPECT_EQ(makePrefetcher("none"), nullptr);
+}
+
+TEST(Runner, PythiaCustomRequiresConfig)
+{
+    EXPECT_THROW(makePrefetcher("pythia_custom"), std::invalid_argument);
+    rl::PythiaConfig cfg;
+    EXPECT_NE(makePrefetcher("pythia_custom", cfg), nullptr);
+}
+
+TEST(Runner, BaselineCachedAcrossEvaluations)
+{
+    Runner runner;
+    (void)runner.evaluate(quickSpec("470.lbm-164B", "stride"));
+    EXPECT_EQ(runner.baselinesComputed(), 1u);
+    (void)runner.evaluate(quickSpec("470.lbm-164B", "streamer"));
+    EXPECT_EQ(runner.baselinesComputed(), 1u); // same machine+workload
+    (void)runner.evaluate(quickSpec("462.libquantum-1343B", "stride"));
+    EXPECT_EQ(runner.baselinesComputed(), 2u);
+}
+
+TEST(Runner, MixSizeMustMatchCores)
+{
+    ExperimentSpec spec = quickSpec("x", "none");
+    spec.num_cores = 2;
+    spec.mix = {"470.lbm-164B"};
+    EXPECT_THROW(workloadsFor(spec), std::invalid_argument);
+}
+
+TEST(Runner, HomogeneousMixClonesWithDistinctSeeds)
+{
+    ExperimentSpec spec = quickSpec("470.lbm-164B", "none");
+    spec.num_cores = 2;
+    auto ws = workloadsFor(spec);
+    ASSERT_EQ(ws.size(), 2u);
+    // Same name, decorrelated address streams.
+    EXPECT_EQ(ws[0]->name(), ws[1]->name());
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (ws[0]->next().addr == ws[1]->next().addr);
+    EXPECT_LT(same, 100);
+}
+
+// --------------------------------------------------- behavioural integration
+
+TEST(EndToEnd, StridePrefetcherWinsOnStrideWorkload)
+{
+    Runner runner;
+    const auto o = runner.evaluate(quickSpec("470.lbm-164B", "stride"));
+    EXPECT_GT(o.metrics.speedup, 1.2);
+    EXPECT_GT(o.metrics.coverage, 0.5);
+}
+
+TEST(EndToEnd, SppWinsOnDeltaChains)
+{
+    Runner runner;
+    const auto spp =
+        runner.evaluate(quickSpec("459.GemsFDTD-765B", "spp"));
+    EXPECT_GT(spp.metrics.speedup, 1.5);
+    EXPECT_GT(spp.metrics.coverage, 0.7);
+    EXPECT_LT(spp.metrics.overprediction, 0.1);
+}
+
+TEST(EndToEnd, BingoWinsOnSpatialFootprints)
+{
+    Runner runner;
+    const auto bingo =
+        runner.evaluate(quickSpec("482.sphinx3-417B", "bingo"));
+    const auto spp =
+        runner.evaluate(quickSpec("482.sphinx3-417B", "spp"));
+    EXPECT_GT(bingo.metrics.speedup, spp.metrics.speedup);
+}
+
+TEST(EndToEnd, IrregularWorkloadPunishesOverprediction)
+{
+    Runner runner;
+    const auto mlop =
+        runner.evaluate(quickSpec("429.mcf-184B", "mlop"));
+    const auto pythia =
+        runner.evaluate(quickSpec("429.mcf-184B", "pythia"));
+    // MLOP overpredicts heavily on pointer chasing; Pythia must not.
+    EXPECT_GT(mlop.metrics.overprediction,
+              5.0 * (pythia.metrics.overprediction + 0.01));
+    EXPECT_GT(pythia.metrics.speedup, mlop.metrics.speedup);
+}
+
+TEST(EndToEnd, PythiaKeepsHighAccuracy)
+{
+    Runner runner;
+    // On unprefetchable workloads the agent converges to no-prefetch; the
+    // residual issue volume comes mostly from epsilon exploration, so the
+    // key property is a *low overprediction rate*, with accuracy well
+    // above what a pattern prefetcher achieves here (MLOP sits near 5%).
+    for (const char* w : {"429.mcf-184B", "Ligra-CC"}) {
+        const auto o = runner.evaluate(quickSpec(w, "pythia"));
+        EXPECT_GT(o.metrics.accuracy, 0.15) << w;
+        EXPECT_LT(o.metrics.overprediction, 0.3) << w;
+    }
+}
+
+TEST(EndToEnd, MoreBandwidthNeverHurtsBaseline)
+{
+    auto ipc_at = [](std::uint32_t mtps) {
+        ExperimentSpec spec = quickSpec("462.libquantum-1343B", "none");
+        spec.mtps = mtps;
+        return simulate(spec).ipc_geomean;
+    };
+    const double slow = ipc_at(150);
+    const double mid = ipc_at(1200);
+    const double fast = ipc_at(9600);
+    EXPECT_LT(slow, mid);
+    EXPECT_LE(mid, fast * 1.02);
+}
+
+TEST(EndToEnd, LargerLlcNeverHurtsSpatialWorkload)
+{
+    auto ipc_at = [](std::uint64_t bytes) {
+        ExperimentSpec spec = quickSpec("482.sphinx3-417B", "none");
+        spec.llc_bytes_per_core = bytes;
+        return simulate(spec).ipc_geomean;
+    };
+    EXPECT_LE(ipc_at(256 * 1024), ipc_at(4ull << 20) * 1.05);
+}
+
+TEST(EndToEnd, MultiLevelStridePlusPythiaRuns)
+{
+    ExperimentSpec spec = quickSpec("470.lbm-164B", "pythia");
+    spec.l1_prefetcher = "stride";
+    const auto res = simulate(spec);
+    EXPECT_GT(res.ipc_geomean, 0.0);
+    EXPECT_GT(res.prefetch_issued, 0u);
+}
+
+TEST(EndToEnd, FourCoreRunCompletes)
+{
+    ExperimentSpec spec = quickSpec("Ligra-BFS", "pythia");
+    spec.num_cores = 4;
+    spec.warmup_instrs = 10'000;
+    spec.sim_instrs = 30'000;
+    const auto res = simulate(spec);
+    ASSERT_EQ(res.ipc.size(), 4u);
+    for (double ipc : res.ipc)
+        EXPECT_GT(ipc, 0.0);
+}
+
+TEST(EndToEnd, HeterogeneousMixRuns)
+{
+    ExperimentSpec spec;
+    spec.prefetcher = "pythia";
+    spec.num_cores = 2;
+    spec.mix = {"470.lbm-164B", "429.mcf-184B"};
+    spec.warmup_instrs = 10'000;
+    spec.sim_instrs = 30'000;
+    const auto res = simulate(spec);
+    ASSERT_EQ(res.ipc.size(), 2u);
+    // The regular workload should run faster than the pointer chaser.
+    EXPECT_GT(res.ipc[0], res.ipc[1]);
+}
+
+TEST(EndToEnd, StrictPythiaMoreAccurateOnGraphs)
+{
+    Runner runner;
+    ExperimentSpec basic = quickSpec("Ligra-PageRank", "pythia");
+    ExperimentSpec strict = quickSpec("Ligra-PageRank", "pythia_strict");
+    const auto ob = runner.evaluate(basic);
+    const auto os = runner.evaluate(strict);
+    EXPECT_GE(os.metrics.accuracy, ob.metrics.accuracy - 0.05);
+    EXPECT_LE(os.metrics.overprediction,
+              ob.metrics.overprediction + 0.02);
+}
+
+/** Determinism across the whole stack, parameterized by prefetcher. */
+class EndToEndDeterminism
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EndToEndDeterminism, SameSpecSameNumbers)
+{
+    ExperimentSpec spec = quickSpec("482.sphinx3-417B", GetParam());
+    spec.warmup_instrs = 10'000;
+    spec.sim_instrs = 30'000;
+    const auto a = simulate(spec);
+    const auto b = simulate(spec);
+    EXPECT_DOUBLE_EQ(a.ipc_geomean, b.ipc_geomean);
+    EXPECT_EQ(a.llc_read_misses, b.llc_read_misses);
+    EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Prefetchers, EndToEndDeterminism,
+    ::testing::Values("none", "spp", "bingo", "mlop", "pythia",
+                      "spp_ppf", "dspatch", "cp_hw", "power7"),
+    [](const auto& info) { return info.param; });
+
+} // namespace
+} // namespace pythia::harness
