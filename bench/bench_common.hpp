@@ -20,7 +20,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
 #include "workloads/suites.hpp"
 
 namespace pythia::bench {
@@ -38,17 +38,16 @@ simScale(int argc, char** argv)
     return cli.getDouble("sim_scale", 1.0);
 }
 
-/** Build a single-core spec with the bench-standard windows. */
-inline harness::ExperimentSpec
-spec1c(const std::string& workload, const std::string& pf,
-       double scale = 1.0)
+/** Single-core experiment with the bench-standard windows; @p pf is a
+ *  registry spec string. Tweak further with the fluent setters. */
+inline harness::ExperimentBuilder
+exp1c(const std::string& workload, const std::string& pf,
+      double scale = 1.0)
 {
-    harness::ExperimentSpec spec;
-    spec.workload = workload;
-    spec.prefetcher = pf;
-    spec.warmup_instrs = static_cast<std::uint64_t>(kWarmup * scale);
-    spec.sim_instrs = static_cast<std::uint64_t>(kSim * scale);
-    return spec;
+    return harness::Experiment(workload)
+        .l2(pf)
+        .warmup(static_cast<std::uint64_t>(kWarmup * scale))
+        .measure(static_cast<std::uint64_t>(kSim * scale));
 }
 
 /** A representative cross-section of the catalog (one workload per
@@ -69,22 +68,22 @@ representativeWorkloads()
     return w;
 }
 
-/** Geomean speedup of @p pf over the baseline across @p workloads. */
+/** Geomean speedup of @p pf over the baseline across @p workloads;
+ *  @p tweak customizes each experiment through the fluent builder. */
 inline double
-geomeanSpeedup(harness::Runner& runner,
-               const std::vector<std::string>& workloads,
-               const std::string& pf,
-               const std::function<void(harness::ExperimentSpec&)>& tweak =
-                   {},
-               double scale = 1.0)
+geomeanSpeedup(
+    harness::Runner& runner, const std::vector<std::string>& workloads,
+    const std::string& pf,
+    const std::function<void(harness::ExperimentBuilder&)>& tweak = {},
+    double scale = 1.0)
 {
     std::vector<double> speedups;
     for (const auto& w : workloads) {
-        harness::ExperimentSpec spec = spec1c(w, pf, scale);
+        harness::ExperimentBuilder exp = exp1c(w, pf, scale);
         if (tweak)
-            tweak(spec);
+            tweak(exp);
         speedups.push_back(
-            std::max(1e-6, runner.evaluate(spec).metrics.speedup));
+            std::max(1e-6, exp.run(runner).metrics.speedup));
     }
     return geomean(speedups);
 }

@@ -27,7 +27,7 @@ main(int argc, char** argv)
                      "ipc_improvement"});
     for (const auto& w : workloads) {
         for (const auto& pf : prefetchers) {
-            const auto o = runner.evaluate(bench::spec1c(w, pf, scale));
+            const auto o = bench::exp1c(w, pf, scale).run(runner);
             table.addRow({w, pf, Table::pct(o.metrics.coverage),
                           Table::pct(o.metrics.overprediction),
                           Table::pct(o.metrics.speedup - 1.0)});

@@ -29,7 +29,7 @@ main(int argc, char** argv)
             int n = 0;
             for (const auto* w : wl::suiteWorkloads(suite)) {
                 const auto o =
-                    runner.evaluate(bench::spec1c(w->name, pf, scale));
+                    bench::exp1c(w->name, pf, scale).run(runner);
                 cov += o.metrics.coverage;
                 over += o.metrics.overprediction;
                 all[pf].push_back(o.metrics);

@@ -32,11 +32,11 @@ main(int argc, char** argv)
         for (const auto& pf : prefetchers) {
             const double g = bench::geomeanSpeedup(
                 runner, workloads, pf,
-                [cores](harness::ExperimentSpec& s) {
-                    s.num_cores = cores;
+                [cores](harness::ExperimentBuilder& e) {
+                    e.cores(cores);
                     // Keep total simulated work bounded.
-                    s.warmup_instrs /= (cores > 2 ? 3 : 1);
-                    s.sim_instrs /= (cores > 2 ? 3 : 1);
+                    if (cores > 2)
+                        e.scaleWindows(1.0 / 3);
                 },
                 scale);
             row.push_back(Table::fmt(g));

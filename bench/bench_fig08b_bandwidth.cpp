@@ -32,7 +32,7 @@ main(int argc, char** argv)
         for (const auto& pf : prefetchers) {
             const double g = bench::geomeanSpeedup(
                 runner, workloads, pf,
-                [mtps](harness::ExperimentSpec& s) { s.mtps = mtps; },
+                [mtps](harness::ExperimentBuilder& e) { e.mtps(mtps); },
                 scale);
             row.push_back(Table::fmt(g));
         }

@@ -30,8 +30,8 @@ main(int argc, char** argv)
         for (const auto& pf : prefetchers) {
             const double g = bench::geomeanSpeedup(
                 runner, workloads, pf,
-                [llc](harness::ExperimentSpec& s) {
-                    s.llc_bytes_per_core = llc;
+                [llc](harness::ExperimentBuilder& e) {
+                    e.llcBytesPerCore(llc);
                 },
                 scale);
             row.push_back(Table::fmt(g));

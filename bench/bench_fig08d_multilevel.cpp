@@ -41,9 +41,8 @@ main(int argc, char** argv)
         for (const auto& scheme : schemes) {
             const double g = bench::geomeanSpeedup(
                 runner, workloads, scheme.l2,
-                [&](harness::ExperimentSpec& s) {
-                    s.mtps = mtps;
-                    s.l1_prefetcher = scheme.l1;
+                [&](harness::ExperimentBuilder& e) {
+                    e.mtps(mtps).l1(scheme.l1);
                 },
                 scale);
             row.push_back(Table::fmt(g));

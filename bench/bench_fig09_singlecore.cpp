@@ -10,6 +10,8 @@
  */
 #include "bench_common.hpp"
 
+#include "sim/prefetcher_registry.hpp"
+
 int
 main(int argc, char** argv)
 {
@@ -32,7 +34,7 @@ main(int argc, char** argv)
             std::vector<double> speedups;
             for (const auto* w : wl::suiteWorkloads(suite)) {
                 const auto o =
-                    runner.evaluate(bench::spec1c(w->name, pf, scale));
+                    bench::exp1c(w->name, pf, scale).run(runner);
                 speedups.push_back(std::max(1e-6, o.metrics.speedup));
                 overall[pf].push_back(speedups.back());
             }
@@ -55,7 +57,7 @@ main(int argc, char** argv)
                            "st_s_b_d_m", "pythia"}) {
         const double g =
             bench::geomeanSpeedup(runner, all_names, pf, {}, scale);
-        const auto built = harness::makePrefetcher(pf);
+        const auto built = sim::makePrefetcher(pf);
         b.addRow({pf, Table::fmt(g),
                   Table::fmt(built->storageBytes() / 1024.0, 1)});
     }

@@ -27,10 +27,8 @@ main(int argc, char** argv)
         {"Cloudsuite", "Cloudsuite-Cassandra"},
     };
 
-    auto four_core = [&](harness::ExperimentSpec& s) {
-        s.num_cores = 4;
-        s.warmup_instrs /= 2;
-        s.sim_instrs /= 2;
+    auto four_core = [&](harness::ExperimentBuilder& e) {
+        e.cores(4).scaleWindows(0.5);
     };
 
     harness::Runner runner;
@@ -45,10 +43,10 @@ main(int argc, char** argv)
     for (const auto& [suite, workload] : picks) {
         std::vector<std::string> row = {suite + "/" + workload};
         for (const auto& pf : prefetchers) {
-            harness::ExperimentSpec spec = bench::spec1c(workload, pf,
-                                                         scale);
-            four_core(spec);
-            const auto o = runner.evaluate(spec);
+            harness::ExperimentBuilder exp =
+                bench::exp1c(workload, pf, scale);
+            four_core(exp);
+            const auto o = exp.run(runner);
             row.push_back(Table::fmt(o.metrics.speedup));
             overall[pf].push_back(std::max(1e-6, o.metrics.speedup));
         }
@@ -58,16 +56,17 @@ main(int argc, char** argv)
     {
         std::vector<std::string> row = {"Mix(hetero)"};
         for (const auto& pf : prefetchers) {
-            harness::ExperimentSpec spec;
-            spec.prefetcher = pf;
-            spec.num_cores = 4;
-            spec.mix = {"462.libquantum-1343B", "429.mcf-184B",
-                        "PARSEC-Canneal", "Ligra-CC"};
-            spec.warmup_instrs =
-                static_cast<std::uint64_t>(bench::kWarmup * scale / 2);
-            spec.sim_instrs =
-                static_cast<std::uint64_t>(bench::kSim * scale / 2);
-            const auto o = runner.evaluate(spec);
+            const auto o =
+                harness::Experiment()
+                    .mix({"462.libquantum-1343B", "429.mcf-184B",
+                          "PARSEC-Canneal", "Ligra-CC"})
+                    .cores(4)
+                    .l2(pf)
+                    .warmup(static_cast<std::uint64_t>(bench::kWarmup *
+                                                       scale / 2))
+                    .measure(static_cast<std::uint64_t>(bench::kSim *
+                                                        scale / 2))
+                    .run(runner);
             row.push_back(Table::fmt(o.metrics.speedup));
             overall[pf].push_back(std::max(1e-6, o.metrics.speedup));
         }

@@ -22,8 +22,8 @@ main(int argc, char** argv)
     Table table("Fig.11 — BW-oblivious Pythia normalized to basic");
     table.setHeader({"mtps", "basic", "bw_oblivious", "delta"});
     for (std::uint32_t mtps : mtps_points) {
-        auto set_mtps = [mtps](harness::ExperimentSpec& s) {
-            s.mtps = mtps;
+        auto set_mtps = [mtps](harness::ExperimentBuilder& e) {
+            e.mtps(mtps);
         };
         const double basic = bench::geomeanSpeedup(
             runner, workloads, "pythia", set_mtps, scale);

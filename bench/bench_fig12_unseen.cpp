@@ -37,12 +37,10 @@ main(int argc, char** argv)
             for (const auto& pf : prefetchers) {
                 const double g = bench::geomeanSpeedup(
                     runner, names, pf,
-                    [cores](harness::ExperimentSpec& s) {
-                        s.num_cores = cores;
-                        if (cores > 1) {
-                            s.warmup_instrs /= 2;
-                            s.sim_instrs /= 2;
-                        }
+                    [cores](harness::ExperimentBuilder& e) {
+                        e.cores(cores);
+                        if (cores > 1)
+                            e.scaleWindows(0.5);
                     },
                     scale);
                 row.push_back(Table::fmt(g));

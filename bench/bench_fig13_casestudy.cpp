@@ -20,8 +20,8 @@ main(int argc, char** argv)
     using namespace pythia;
     const double scale = bench::simScale(argc, argv);
 
-    harness::ExperimentSpec spec =
-        bench::spec1c("459.GemsFDTD-1320B", "pythia", scale);
+    const harness::ExperimentSpec spec =
+        bench::exp1c("459.GemsFDTD-1320B", "pythia", scale).build();
 
     auto cfg = rl::scaledForSimLength(rl::basicPythiaConfig());
     auto agent = std::make_unique<rl::PythiaPrefetcher>(cfg);

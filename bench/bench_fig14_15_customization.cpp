@@ -25,8 +25,7 @@ main(int argc, char** argv)
                    "ipc_improvement"});
     for (const char* pf : {"none", "spp", "bingo", "mlop", "pythia",
                            "pythia_strict"}) {
-        const auto o =
-            runner.evaluate(bench::spec1c("Ligra-CC", pf, scale));
+        const auto o = bench::exp1c("Ligra-CC", pf, scale).run(runner);
         const auto& b = o.run.dram_buckets;
         f14.addRow({pf, Table::pct(b[0]), Table::pct(b[1]),
                     Table::pct(b[2]), Table::pct(b[3]),
@@ -39,9 +38,9 @@ main(int argc, char** argv)
     std::vector<double> basics, stricts;
     for (const auto* w : wl::suiteWorkloads("Ligra")) {
         const auto basic =
-            runner.evaluate(bench::spec1c(w->name, "pythia", scale));
-        const auto strict = runner.evaluate(
-            bench::spec1c(w->name, "pythia_strict", scale));
+            bench::exp1c(w->name, "pythia", scale).run(runner);
+        const auto strict =
+            bench::exp1c(w->name, "pythia_strict", scale).run(runner);
         basics.push_back(std::max(1e-6, basic.metrics.speedup));
         stricts.push_back(std::max(1e-6, strict.metrics.speedup));
         f15.addRow({w->name, Table::fmt(basic.metrics.speedup),

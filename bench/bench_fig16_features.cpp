@@ -40,16 +40,15 @@ main(int argc, char** argv)
     std::vector<double> basics, opts;
     for (const auto* w : wl::suiteWorkloads("SPEC06")) {
         const auto basic =
-            runner.evaluate(bench::spec1c(w->name, "pythia", scale));
+            bench::exp1c(w->name, "pythia", scale).run(runner);
         double best = basic.metrics.speedup;
         std::string best_name = "basic";
         for (const auto& features : candidates) {
-            harness::ExperimentSpec spec =
-                bench::spec1c(w->name, "pythia_custom", scale);
             auto cfg = rl::scaledForSimLength(
                 rl::withFeatures(rl::basicPythiaConfig(), features));
-            spec.pythia_cfg = cfg;
-            const auto o = runner.evaluate(spec);
+            const auto o = bench::exp1c(w->name, "pythia", scale)
+                               .l2Pythia(cfg)
+                               .run(runner);
             if (o.metrics.speedup > best) {
                 best = o.metrics.speedup;
                 best_name = cfg.name;

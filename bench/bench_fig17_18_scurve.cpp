@@ -35,13 +35,11 @@ main(int argc, char** argv)
             Row r;
             r.workload = w;
             for (const auto& pf : prefetchers) {
-                harness::ExperimentSpec spec = bench::spec1c(w, pf, scale);
-                spec.num_cores = cores;
-                if (cores > 1) {
-                    spec.warmup_instrs /= 2;
-                    spec.sim_instrs /= 2;
-                }
-                r.speedup[pf] = runner.evaluate(spec).metrics.speedup;
+                harness::ExperimentBuilder exp =
+                    bench::exp1c(w, pf, scale).cores(cores);
+                if (cores > 1)
+                    exp.scaleWindows(0.5);
+                r.speedup[pf] = exp.run(runner).metrics.speedup;
             }
             rows.push_back(std::move(r));
         }

@@ -55,10 +55,8 @@ main(int argc, char** argv)
         auto cfg = rl::scaledForSimLength(
             rl::withFeatures(rl::basicPythiaConfig(), features));
         for (const auto& w : workloads) {
-            harness::ExperimentSpec spec =
-                bench::spec1c(w, "pythia_custom", scale);
-            spec.pythia_cfg = cfg;
-            const auto o = runner.evaluate(spec);
+            const auto o =
+                bench::exp1c(w, "pythia", scale).l2Pythia(cfg).run(runner);
             speedups.push_back(std::max(1e-6, o.metrics.speedup));
             cov += o.metrics.coverage;
             over += o.metrics.overprediction;

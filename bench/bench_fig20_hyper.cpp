@@ -9,9 +9,9 @@
  * eps=0.002) because our simulation windows are ~1000x shorter — the
  * *shape* of both curves is the reproduction target (DESIGN.md §4).
  */
-#include "bench_common.hpp"
+#include <cstdio>
 
-#include "core/configs.hpp"
+#include "bench_common.hpp"
 
 int
 main(int argc, char** argv)
@@ -21,31 +21,24 @@ main(int argc, char** argv)
     const auto& workloads = bench::representativeWorkloads();
     harness::Runner runner;
 
-    auto sweep = [&](const std::string& label,
-                     const std::vector<double>& values,
-                     auto apply) {
-        Table table("Fig.20 — sensitivity to " + label);
-        table.setHeader({label, "geomean_speedup"});
+    // Each hyperparameter value rides a parameterized registry spec
+    // ("pythia:alpha=0.01") — the whole sweep needs no config objects.
+    auto sweep = [&](const std::string& key,
+                     const std::vector<double>& values) {
+        Table table("Fig.20 — sensitivity to " + key);
+        table.setHeader({key, "geomean_speedup"});
         for (double v : values) {
-            auto cfg = rl::scaledForSimLength(rl::basicPythiaConfig());
-            apply(cfg, v);
-            std::vector<double> speedups;
-            for (const auto& w : workloads) {
-                harness::ExperimentSpec spec =
-                    bench::spec1c(w, "pythia_custom", scale);
-                spec.pythia_cfg = cfg;
-                speedups.push_back(std::max(
-                    1e-6, runner.evaluate(spec).metrics.speedup));
-            }
-            table.addRow({Table::fmt(v, 6),
-                          Table::fmt(geomean(speedups))});
+            char value[32];
+            std::snprintf(value, sizeof value, "%g", v);
+            const std::string spec = "pythia:" + key + "=" + value;
+            const double g =
+                bench::geomeanSpeedup(runner, workloads, spec, {}, scale);
+            table.addRow({Table::fmt(v, 6), Table::fmt(g)});
         }
-        bench::finish(table, "fig20_" + label);
+        bench::finish(table, "fig20_" + key);
     };
 
-    sweep("epsilon", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 1.0},
-          [](rl::PythiaConfig& cfg, double v) { cfg.epsilon = v; });
-    sweep("alpha", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 1.0},
-          [](rl::PythiaConfig& cfg, double v) { cfg.alpha = v; });
+    sweep("epsilon", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 1.0});
+    sweep("alpha", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 1.0});
     return 0;
 }

@@ -27,12 +27,10 @@ main(int argc, char** argv)
                 names.push_back(w->name);
             if (cores > 1 && names.size() > 2)
                 names.resize(2);
-            auto tweak = [cores](harness::ExperimentSpec& s) {
-                s.num_cores = cores;
-                if (cores > 1) {
-                    s.warmup_instrs /= 2;
-                    s.sim_instrs /= 2;
-                }
+            auto tweak = [cores](harness::ExperimentBuilder& e) {
+                e.cores(cores);
+                if (cores > 1)
+                    e.scaleWindows(0.5);
             };
             const double p7 = bench::geomeanSpeedup(runner, names,
                                                     "power7", tweak,

@@ -31,8 +31,8 @@ main(int argc, char** argv)
         for (const auto& pf : prefetchers) {
             const double g = bench::geomeanSpeedup(
                 runner, workloads, pf,
-                [warmup](harness::ExperimentSpec& s) {
-                    s.warmup_instrs = warmup;
+                [warmup](harness::ExperimentBuilder& e) {
+                    e.warmup(warmup);
                 },
                 scale);
             row.push_back(Table::fmt(g));

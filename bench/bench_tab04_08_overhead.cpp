@@ -11,6 +11,7 @@
 
 #include "core/configs.hpp"
 #include "core/storage_model.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 int
 main(int, char**)
@@ -36,7 +37,7 @@ main(int, char**)
     t7.setHeader({"prefetcher", "kb"});
     for (const char* pf : {"spp", "bingo", "mlop", "dspatch", "spp_ppf",
                            "pythia"}) {
-        const auto built = harness::makePrefetcher(pf);
+        const auto built = sim::makePrefetcher(pf);
         t7.addRow({pf, Table::fmt(built->storageBytes() / 1024.0, 1)});
     }
     bench::finish(t7, "tab07_budgets");

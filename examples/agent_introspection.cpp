@@ -12,7 +12,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/configs.hpp"
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
 #include "sim/system.hpp"
 #include "workloads/suites.hpp"
 
@@ -28,9 +28,8 @@ main(int argc, char** argv)
     const auto mtps = static_cast<std::uint32_t>(cli.getInt("mtps", 2400));
     const bool strict = cli.getBool("strict", false);
 
-    harness::ExperimentSpec spec;
-    spec.workload = workload;
-    spec.mtps = mtps;
+    const harness::ExperimentSpec spec =
+        harness::Experiment(workload).mtps(mtps).build();
 
     // Build the system by hand so we keep a handle on the agent.
     auto cfg = rl::scaledForSimLength(

@@ -12,7 +12,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
 
 int
 main(int argc, char** argv)
@@ -31,11 +31,10 @@ main(int argc, char** argv)
         std::vector<std::string> row = {std::to_string(mtps)};
         double util = 0.0;
         for (const char* pf : {"bingo", "pythia", "pythia_bwobl"}) {
-            harness::ExperimentSpec spec;
-            spec.workload = workload;
-            spec.prefetcher = pf;
-            spec.mtps = mtps;
-            const auto o = runner.evaluate(spec);
+            const auto o = harness::Experiment(workload)
+                               .l2(pf)
+                               .mtps(mtps)
+                               .run(runner);
             row.push_back(Table::fmt(o.metrics.speedup));
             if (std::string(pf) == "pythia")
                 util = o.run.dram_utilization;

@@ -13,7 +13,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/configs.hpp"
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
 
 int
 main(int argc, char** argv)
@@ -42,19 +42,26 @@ main(int argc, char** argv)
     table.setHeader({"variant", "speedup", "coverage", "overpred",
                      "accuracy"});
 
-    auto row = [&](const std::string& label,
-                   std::optional<rl::PythiaConfig> cfg) {
-        harness::ExperimentSpec spec;
-        spec.workload = workload;
-        spec.prefetcher = cfg ? "pythia_custom" : "pythia";
-        spec.pythia_cfg = std::move(cfg);
-        const auto o = runner.evaluate(spec);
+    auto show = [&](const std::string& label,
+                    const harness::Runner::Outcome& o) {
         table.addRow({label, Table::fmt(o.metrics.speedup),
                       Table::pct(o.metrics.coverage),
                       Table::pct(o.metrics.overprediction),
                       Table::pct(o.metrics.accuracy)});
     };
-    row("basic", std::nullopt);
+    auto row = [&](const std::string& label, rl::PythiaConfig cfg) {
+        show(label, harness::Experiment(workload)
+                        .l2Pythia(std::move(cfg))
+                        .run(runner));
+    };
+    show("basic", harness::Experiment(workload).l2("pythia").run(runner));
+    // Reward levels are also reachable directly from the spec string —
+    // no config object needed for scalar knobs.
+    show("strict rewards (spec string)",
+         harness::Experiment(workload)
+             .l2("pythia:r_in_high=-22,r_in_low=-20,r_np_high=0,"
+                 "r_np_low=0")
+             .run(runner));
     row("strict rewards", strict);
     row("offset features", offsets);
     row("short action list", short_actions);

@@ -4,14 +4,17 @@
  * baseline (SPP) and Pythia, and print the paper's headline metrics
  * (speedup, coverage, overprediction, accuracy).
  *
- * Usage: quickstart [workload=<name>] [prefetcher=<name>] [mtps=<n>]
+ * Usage: quickstart [workload=<name>] [prefetcher=<spec>] [mtps=<n>]
+ *
+ * prefetcher= accepts any registry spec string, including parameterized
+ * ("spp:max_lookahead=4") and composed ("stride+spp") forms.
  */
 #include <cstdio>
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
 #include "workloads/suites.hpp"
 
 int
@@ -40,11 +43,8 @@ main(int argc, char** argv)
             : std::vector<std::string>{"spp", "bingo", "mlop", "pythia"};
 
     for (const auto& pf : prefetchers) {
-        harness::ExperimentSpec spec;
-        spec.workload = workload;
-        spec.prefetcher = pf;
-        spec.mtps = mtps;
-        const auto outcome = runner.evaluate(spec);
+        const auto outcome =
+            harness::Experiment(workload).l2(pf).mtps(mtps).run(runner);
         table.addRow({pf, Table::fmt(outcome.run.ipc_geomean),
                       Table::fmt(outcome.metrics.speedup),
                       Table::pct(outcome.metrics.coverage),

@@ -15,7 +15,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "harness/runner.hpp"
+#include "sim/prefetcher_registry.hpp"
 #include "sim/system.hpp"
 #include "workloads/suites.hpp"
 #include "workloads/trace.hpp"
@@ -83,8 +83,8 @@ replay(const Config& cli)
     std::vector<std::unique_ptr<wl::Workload>> ws;
     ws.push_back(std::move(trace));
     sim::System system(cfg, std::move(ws));
-    if (pf != "none")
-        system.attachL2Prefetcher(0, harness::makePrefetcher(pf));
+    if (auto built = sim::makePrefetcher(pf))
+        system.attachL2Prefetcher(0, std::move(built));
     system.warmup(50'000);
     const auto res = system.run(100'000);
 

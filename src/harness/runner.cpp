@@ -5,41 +5,35 @@
 #include <stdexcept>
 
 #include "common/hashing.hpp"
-#include "prefetchers/registry.hpp"
+#include "sim/prefetcher_registry.hpp"
 #include "workloads/suites.hpp"
 
 namespace pythia::harness {
 
+namespace {
+
+/** Resolve a spec through the registry, plus the one construction the
+ *  registry cannot express: "pythia_custom" with an explicit config
+ *  object (features and action lists are not spec-string encodable). */
 std::unique_ptr<sim::PrefetcherApi>
-makePrefetcher(const std::string& name,
-               const std::optional<rl::PythiaConfig>& custom)
+buildPrefetcher(const std::string& spec,
+                const std::optional<rl::PythiaConfig>& custom)
 {
-    if (name == "pythia")
-        return std::make_unique<rl::PythiaPrefetcher>(
-            rl::scaledForSimLength(rl::basicPythiaConfig()));
-    if (name == "pythia_strict")
-        return std::make_unique<rl::PythiaPrefetcher>(
-            rl::scaledForSimLength(rl::strictPythiaConfig()));
-    if (name == "pythia_bwobl")
-        return std::make_unique<rl::PythiaPrefetcher>(
-            rl::scaledForSimLength(rl::bandwidthObliviousConfig()));
-    if (name == "pythia_custom") {
+    if (spec == "pythia_custom") {
         if (!custom)
             throw std::invalid_argument(
                 "pythia_custom requires an explicit PythiaConfig");
         return std::make_unique<rl::PythiaPrefetcher>(*custom);
     }
-    return pf::makeBaseline(name);
+    return sim::makePrefetcher(spec);
 }
+
+} // namespace
 
 std::vector<std::string>
 harnessPrefetcherNames()
 {
-    std::vector<std::string> names = pf::baselineNames();
-    names.push_back("pythia");
-    names.push_back("pythia_strict");
-    names.push_back("pythia_bwobl");
-    return names;
+    return sim::prefetcherNames();
 }
 
 sim::SystemConfig
@@ -84,12 +78,10 @@ simulate(const ExperimentSpec& spec)
 {
     sim::System system(systemConfigFor(spec), workloadsFor(spec));
     for (std::uint32_t c = 0; c < spec.num_cores; ++c) {
-        if (spec.prefetcher != "none")
-            system.attachL2Prefetcher(
-                c, makePrefetcher(spec.prefetcher, spec.pythia_cfg));
-        if (spec.l1_prefetcher != "none")
-            system.attachL1Prefetcher(
-                c, makePrefetcher(spec.l1_prefetcher, std::nullopt));
+        if (auto l2 = buildPrefetcher(spec.prefetcher, spec.pythia_cfg))
+            system.attachL2Prefetcher(c, std::move(l2));
+        if (auto l1 = buildPrefetcher(spec.l1_prefetcher, std::nullopt))
+            system.attachL1Prefetcher(c, std::move(l1));
     }
     system.warmup(spec.warmup_instrs);
     return system.run(spec.sim_instrs);

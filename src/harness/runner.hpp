@@ -24,13 +24,19 @@
 
 namespace pythia::harness {
 
-/** Everything that defines one simulation run. */
+/**
+ * Everything that defines one simulation run. Prefetchers are named by
+ * registry spec strings (sim/prefetcher_registry.hpp) — parameterized
+ * ("spp:max_lookahead=4", "pythia:gamma=0.5") and composed
+ * ("stride+spp+bingo") specs included. Usually built through the fluent
+ * ExperimentBuilder (harness/experiment.hpp).
+ */
 struct ExperimentSpec
 {
     std::string workload;            ///< catalog name (ignored if mix set)
     std::vector<std::string> mix;    ///< heterogeneous multi-core mix
-    std::string prefetcher = "none"; ///< L2 prefetcher name
-    std::string l1_prefetcher = "none"; ///< L1 prefetcher (multi-level)
+    std::string prefetcher = "none"; ///< L2 prefetcher spec
+    std::string l1_prefetcher = "none"; ///< L1 prefetcher spec (multi-level)
     std::uint32_t num_cores = 1;
     std::uint32_t mtps = 2400;
     std::uint64_t llc_bytes_per_core = 2ull << 20;
@@ -43,15 +49,11 @@ struct ExperimentSpec
 };
 
 /**
- * Instantiate any prefetcher known to the repository: all baselines of
- * prefetchers/registry.hpp plus "pythia", "pythia_strict", "pythia_bwobl"
- * and "pythia_custom" (requires @p custom). Returns nullptr for "none".
+ * All prefetcher names the harness accepts (excluding "none" and the
+ * config-object-driven "pythia_custom"). Thin wrapper over
+ * sim::prefetcherNames(); construction itself goes through
+ * sim::makePrefetcher(spec).
  */
-std::unique_ptr<sim::PrefetcherApi>
-makePrefetcher(const std::string& name,
-               const std::optional<rl::PythiaConfig>& custom = std::nullopt);
-
-/** All prefetcher names the harness accepts (excluding "none"). */
 std::vector<std::string> harnessPrefetcherNames();
 
 /** Translate an ExperimentSpec into a full SystemConfig. */

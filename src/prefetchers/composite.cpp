@@ -1,7 +1,9 @@
 #include "prefetchers/composite.hpp"
 
-#include <algorithm>
 #include <numeric>
+#include <unordered_map>
+
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
 
@@ -30,21 +32,25 @@ void
 CompositePrefetcher::train(const PrefetchAccess& access,
                            std::vector<PrefetchRequest>& out)
 {
+    const std::size_t first = out.size();
     for (auto& c : children_)
         c->train(access, out);
     // Union: drop duplicate target blocks, keeping the strongest
-    // (lowest) fill level.
-    std::sort(out.begin(), out.end(),
-              [](const PrefetchRequest& a, const PrefetchRequest& b) {
-                  return a.block != b.block ? a.block < b.block
-                                            : a.fill_level < b.fill_level;
-              });
-    out.erase(std::unique(out.begin(), out.end(),
-                          [](const PrefetchRequest& a,
-                             const PrefetchRequest& b) {
-                              return a.block == b.block;
-                          }),
-              out.end());
+    // (lowest) fill level. The dedup must be stable in first-emission
+    // order — children are trained in priority order and the cache
+    // truncates the candidate list at max_prefetches_per_access, so
+    // reordering (e.g. sorting by block address) would make truncation
+    // drop the wrong candidates.
+    std::unordered_map<Addr, std::size_t> seen;
+    std::size_t keep = first;
+    for (std::size_t i = first; i < out.size(); ++i) {
+        const auto [it, fresh] = seen.emplace(out[i].block, keep);
+        if (fresh)
+            out[keep++] = out[i];
+        else if (out[i].fill_level < out[it->second].fill_level)
+            out[it->second].fill_level = out[i].fill_level;
+    }
+    out.resize(keep);
 }
 
 void
@@ -75,5 +81,57 @@ CompositePrefetcher::setBandwidthInfo(const BandwidthInfo* bw)
     for (auto& c : children_)
         c->setBandwidthInfo(bw);
 }
+
+// ------------------------------------------------------------ registration
+
+namespace {
+
+/** Hook that lets the registry build "a+b+c" specs without depending on
+ *  this translation unit at compile time. */
+[[maybe_unused]] const sim::PrefetcherComposerRegistrar composer{
+    [](std::string name,
+       std::vector<std::unique_ptr<sim::PrefetcherApi>> children) {
+        return std::make_unique<CompositePrefetcher>(std::move(name),
+                                                     std::move(children));
+    }};
+
+/** Register a named alias for a fixed composition (the paper's
+ *  cumulative "St+S+B+D+M" stacks of Figs. 9(b)/10(b)). */
+sim::PrefetcherEntry
+stackAlias(const std::string& name, std::vector<std::string> child_specs)
+{
+    return {name,
+            "fixed prefetcher stack",
+            {},
+            [child_specs = std::move(child_specs),
+             name](const sim::PrefetcherParams&) {
+                auto& registry = sim::PrefetcherRegistry::instance();
+                std::vector<std::unique_ptr<sim::PrefetcherApi>> kids;
+                for (const auto& spec : child_specs)
+                    kids.push_back(registry.make(spec));
+                return std::make_unique<CompositePrefetcher>(
+                    name, std::move(kids));
+            }};
+}
+
+struct StackRegistrar
+{
+    StackRegistrar()
+    {
+        auto& registry = sim::PrefetcherRegistry::instance();
+        registry.add(stackAlias("st", {"stride"}));
+        registry.add(stackAlias("st_s", {"stride", "spp"}));
+        registry.add(stackAlias("st_s_b", {"stride", "spp", "bingo"}));
+        registry.add(
+            stackAlias("st_s_b_d", {"stride", "spp", "bingo", "dspatch"}));
+        registry.add(stackAlias(
+            "st_s_b_d_m", {"stride", "spp", "bingo", "dspatch", "mlop"}));
+        registry.add(stackAlias("spp_dspatch", {"spp", "dspatch"}));
+    }
+};
+
+[[maybe_unused]] const StackRegistrar stacks;
+
+} // namespace
 
 } // namespace pythia::pf

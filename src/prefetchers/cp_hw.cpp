@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "cp_hw",
+    "contextual-bandit prefetcher over hardware contexts [Peled+ ISCA'15]",
+    {"table_entries", "alpha", "epsilon", "reward_timely", "reward_late",
+     "reward_unused", "seed"},
+    [](const sim::PrefetcherParams& p) {
+        CpHwConfig cfg;
+        cfg.table_entries = p.getU32("table_entries", cfg.table_entries);
+        cfg.alpha = p.getDouble("alpha", cfg.alpha);
+        cfg.epsilon = p.getDouble("epsilon", cfg.epsilon);
+        cfg.reward_timely = p.getDouble("reward_timely", cfg.reward_timely);
+        cfg.reward_late = p.getDouble("reward_late", cfg.reward_late);
+        cfg.reward_unused =
+            p.getDouble("reward_unused", cfg.reward_unused);
+        cfg.seed = p.getU64("seed", cfg.seed);
+        return std::make_unique<CpHwPrefetcher>(cfg);
+    }};
+
+} // namespace
 
 const std::vector<std::int32_t>&
 CpHwPrefetcher::actionList()

@@ -4,8 +4,25 @@
 #include <cassert>
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "dspatch",
+    "Dual Spatial Pattern prefetcher [Bera+ MICRO'19]",
+    {"region_bytes", "spt_entries", "at_entries"},
+    [](const sim::PrefetcherParams& p) {
+        DspatchConfig cfg;
+        cfg.region_bytes = p.getU32("region_bytes", cfg.region_bytes);
+        cfg.spt_entries = p.getU32("spt_entries", cfg.spt_entries);
+        cfg.at_entries = p.getU32("at_entries", cfg.at_entries);
+        return std::make_unique<DspatchPrefetcher>(cfg);
+    }};
+
+} // namespace
 
 DspatchPrefetcher::DspatchPrefetcher(const DspatchConfig& cfg)
     : PrefetcherBase("dspatch", 3686 /* ~3.6KB, Table 7 */), cfg_(cfg),

@@ -1,8 +1,26 @@
 #include "prefetchers/ipcp.hpp"
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "ipcp",
+    "IPCP bouquet-of-IP-classes prefetcher [Pakalapati & Panda ISCA'20]",
+    {"ip_entries", "cspt_entries", "cs_degree", "stream_degree"},
+    [](const sim::PrefetcherParams& p) {
+        IpcpConfig cfg;
+        cfg.ip_entries = p.getU32("ip_entries", cfg.ip_entries);
+        cfg.cspt_entries = p.getU32("cspt_entries", cfg.cspt_entries);
+        cfg.cs_degree = p.getU32("cs_degree", cfg.cs_degree);
+        cfg.stream_degree = p.getU32("stream_degree", cfg.stream_degree);
+        return std::make_unique<IpcpPrefetcher>(cfg);
+    }};
+
+} // namespace
 
 IpcpPrefetcher::IpcpPrefetcher(const IpcpConfig& cfg)
     : PrefetcherBase("ipcp", cfg.ip_entries * 12 + cfg.cspt_entries * 2),

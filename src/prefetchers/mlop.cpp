@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "mlop",
+    "Multi-Lookahead Offset Prefetcher [Shakerinava+ DPC3'19]",
+    {"amt_entries", "update_round", "max_degree", "max_offset"},
+    [](const sim::PrefetcherParams& p) {
+        MlopConfig cfg;
+        cfg.amt_entries = p.getU32("amt_entries", cfg.amt_entries);
+        cfg.update_round = p.getU32("update_round", cfg.update_round);
+        cfg.max_degree = p.getU32("max_degree", cfg.max_degree);
+        cfg.max_offset = p.getI32("max_offset", cfg.max_offset);
+        return std::make_unique<MlopPrefetcher>(cfg);
+    }};
+
+} // namespace
 
 MlopPrefetcher::MlopPrefetcher(const MlopConfig& cfg)
     : PrefetcherBase("mlop", 8192 /* ~8KB, Table 7 */), cfg_(cfg),

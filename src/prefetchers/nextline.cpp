@@ -1,9 +1,11 @@
 #include "prefetchers/nextline.hpp"
 
+#include "sim/prefetcher_registry.hpp"
+
 namespace pythia::pf {
 
 NextLinePrefetcher::NextLinePrefetcher(std::uint32_t degree)
-    : PrefetcherBase("nextline", 0), degree_(degree)
+    : PrefetcherBase("nextline", 8 /* degree register */), degree_(degree)
 {
 }
 
@@ -14,5 +16,17 @@ NextLinePrefetcher::train(const PrefetchAccess& access,
     for (std::uint32_t d = 1; d <= degree_; ++d)
         emitWithinPage(access.block, static_cast<std::int32_t>(d), out);
 }
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "nextline",
+    "next-N-sequential-lines prefetcher (sanity baseline)",
+    {"degree"},
+    [](const sim::PrefetcherParams& p) {
+        return std::make_unique<NextLinePrefetcher>(p.getU32("degree", 1));
+    }};
+
+} // namespace
 
 } // namespace pythia::pf

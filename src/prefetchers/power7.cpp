@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "sim/prefetcher_registry.hpp"
+
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "power7",
+    "POWER7-style adaptive-depth streamer [Jimenez+ TOPC'14]",
+    {"epoch_prefetches", "min_depth", "max_depth"},
+    [](const sim::PrefetcherParams& p) {
+        Power7Config cfg;
+        cfg.epoch_prefetches =
+            p.getU32("epoch_prefetches", cfg.epoch_prefetches);
+        cfg.min_depth = p.getU32("min_depth", cfg.min_depth);
+        cfg.max_depth = p.getU32("max_depth", cfg.max_depth);
+        return std::make_unique<Power7Prefetcher>(cfg);
+    }};
+
+} // namespace
 
 Power7Prefetcher::Power7Prefetcher(const Power7Config& cfg)
     : PrefetcherBase("power7", 1024), cfg_(cfg),

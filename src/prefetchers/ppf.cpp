@@ -3,8 +3,32 @@
 #include <algorithm>
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "spp_ppf",
+    "SPP with Perceptron-based Prefetch Filtering [Bhatia+ ISCA'19]",
+    {"table_entries", "threshold", "train_margin", "weight_max",
+     "spp_st_entries", "spp_pt_sets", "spp_max_lookahead"},
+    [](const sim::PrefetcherParams& p) {
+        PpfConfig cfg;
+        cfg.table_entries = p.getU32("table_entries", cfg.table_entries);
+        cfg.threshold = p.getI32("threshold", cfg.threshold);
+        cfg.train_margin = p.getI32("train_margin", cfg.train_margin);
+        cfg.weight_max = p.getI32("weight_max", cfg.weight_max);
+        SppConfig spp;
+        spp.st_entries = p.getU32("spp_st_entries", spp.st_entries);
+        spp.pt_sets = p.getU32("spp_pt_sets", spp.pt_sets);
+        spp.max_lookahead =
+            p.getU32("spp_max_lookahead", spp.max_lookahead);
+        return std::make_unique<PpfPrefetcher>(cfg, spp);
+    }};
+
+} // namespace
 
 PpfPrefetcher::PpfPrefetcher(const PpfConfig& cfg, const SppConfig& spp_cfg)
     : PrefetcherBase("spp_ppf", 40243 /* ~39.3KB, Table 7 */), cfg_(cfg),

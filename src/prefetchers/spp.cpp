@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "spp",
+    "Signature Path Prefetcher [Kim+ MICRO'16]",
+    {"st_entries", "pt_sets", "pt_ways", "fill_threshold",
+     "pf_threshold", "max_lookahead"},
+    [](const sim::PrefetcherParams& p) {
+        SppConfig cfg;
+        cfg.st_entries = p.getU32("st_entries", cfg.st_entries);
+        cfg.pt_sets = p.getU32("pt_sets", cfg.pt_sets);
+        cfg.pt_ways = p.getU32("pt_ways", cfg.pt_ways);
+        cfg.fill_threshold =
+            p.getDouble("fill_threshold", cfg.fill_threshold);
+        cfg.pf_threshold = p.getDouble("pf_threshold", cfg.pf_threshold);
+        cfg.max_lookahead = p.getU32("max_lookahead", cfg.max_lookahead);
+        return std::make_unique<SppPrefetcher>(cfg);
+    }};
+
+} // namespace
 
 SppPrefetcher::SppPrefetcher(const SppConfig& cfg)
     : PrefetcherBase("spp", 6349 /* ~6.2KB, Table 7 */), cfg_(cfg),

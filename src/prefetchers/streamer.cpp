@@ -1,6 +1,22 @@
 #include "prefetchers/streamer.hpp"
 
+#include "sim/prefetcher_registry.hpp"
+
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "streamer",
+    "multi-stream L2 streamer [Chen & Baer, IEEE TC'95]",
+    {"streams", "degree", "train_len"},
+    [](const sim::PrefetcherParams& p) {
+        return std::make_unique<StreamerPrefetcher>(
+            p.getU32("streams", 64), p.getU32("degree", 8),
+            p.getU32("train_len", 2));
+    }};
+
+} // namespace
 
 StreamerPrefetcher::StreamerPrefetcher(std::uint32_t streams,
                                        std::uint32_t degree,

@@ -1,8 +1,22 @@
 #include "prefetchers/stride.hpp"
 
 #include "common/hashing.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
+
+namespace {
+
+[[maybe_unused]] const sim::PrefetcherRegistrar registrar{
+    "stride",
+    "per-PC stride prefetcher with 2-bit confidence [Fu+ MICRO'92]",
+    {"entries", "degree"},
+    [](const sim::PrefetcherParams& p) {
+        return std::make_unique<StridePrefetcher>(
+            p.getU32("entries", 256), p.getU32("degree", 4));
+    }};
+
+} // namespace
 
 StridePrefetcher::StridePrefetcher(std::uint32_t entries,
                                    std::uint32_t degree)

@@ -141,6 +141,12 @@ Cache::issuePrefetches(const PrefetchAccess& acc,
     for (const PrefetchRequest& pr : candidates) {
         if (issued >= cfg_.max_prefetches_per_access)
             break;
+        if (pr.fill_level < 2 || pr.fill_level > 3) {
+            // Reject out-of-range fill levels from buggy prefetchers
+            // instead of silently misrouting the fill.
+            stats_.inc("prefetch_bad_fill_level");
+            continue;
+        }
         if (pr.block == acc.block)
             continue;
         if (contains(pr.block)) {

@@ -1,0 +1,230 @@
+#include "sim/prefetcher_registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/spec.hpp"
+
+namespace pythia::sim {
+
+// ------------------------------------------------------- PrefetcherParams
+
+bool
+PrefetcherParams::has(const std::string& key) const
+{
+    return kv_.count(key) != 0;
+}
+
+std::string
+PrefetcherParams::getString(const std::string& key,
+                            const std::string& dflt) const
+{
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+void
+PrefetcherParams::badValue(const std::string& key,
+                           const std::string& value,
+                           const char* expected) const
+{
+    throw std::invalid_argument(owner_ + ": parameter '" + key +
+                                "' expects " + expected + ", got '" +
+                                value + "'");
+}
+
+std::int64_t
+PrefetcherParams::getInt(const std::string& key, std::int64_t dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        badValue(key, it->second, "an integer");
+    return v;
+}
+
+std::uint32_t
+PrefetcherParams::getU32(const std::string& key, std::uint32_t dflt) const
+{
+    const std::int64_t v = getInt(key, dflt);
+    if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX))
+        badValue(key, kv_.at(key), "a non-negative 32-bit integer");
+    return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t
+PrefetcherParams::getU64(const std::string& key, std::uint64_t dflt) const
+{
+    const std::int64_t v = getInt(key, static_cast<std::int64_t>(dflt));
+    if (v < 0)
+        badValue(key, kv_.at(key), "a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+std::int32_t
+PrefetcherParams::getI32(const std::string& key, std::int32_t dflt) const
+{
+    const std::int64_t v = getInt(key, dflt);
+    if (v < INT32_MIN || v > INT32_MAX)
+        badValue(key, kv_.at(key), "a 32-bit integer");
+    return static_cast<std::int32_t>(v);
+}
+
+double
+PrefetcherParams::getDouble(const std::string& key, double dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        badValue(key, it->second, "a number");
+    return v;
+}
+
+std::vector<std::string>
+PrefetcherParams::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv_)
+        out.push_back(k);
+    return out;
+}
+
+// ------------------------------------------------------ PrefetcherRegistry
+
+PrefetcherRegistry&
+PrefetcherRegistry::instance()
+{
+    static PrefetcherRegistry registry;
+    return registry;
+}
+
+void
+PrefetcherRegistry::add(PrefetcherEntry entry)
+{
+    if (!entries_.emplace(entry.name, entry).second)
+        throw std::logic_error("duplicate prefetcher registration: " +
+                               entry.name);
+}
+
+void
+PrefetcherRegistry::setComposer(Composer composer)
+{
+    composer_ = std::move(composer);
+}
+
+std::vector<std::string>
+PrefetcherRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto& [name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+const PrefetcherEntry*
+PrefetcherRegistry::find(const std::string& name) const
+{
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string
+joinKeys(const std::vector<std::string>& keys)
+{
+    std::string out;
+    for (const auto& k : keys) {
+        if (!out.empty())
+            out += ", ";
+        out += k;
+    }
+    return out.empty() ? "(no parameters)" : out;
+}
+
+} // namespace
+
+std::unique_ptr<PrefetcherApi>
+PrefetcherRegistry::make(const std::string& spec) const
+{
+    if (spec.empty())
+        return nullptr;
+
+    const std::vector<ParsedSpec> parts = parseSpecList(spec);
+    if (parts.size() == 1 && parts[0].name == "none") {
+        if (!parts[0].params.empty())
+            throw std::invalid_argument(
+                "'none' takes no parameters: " + spec);
+        return nullptr;
+    }
+
+    std::vector<std::unique_ptr<PrefetcherApi>> built;
+    std::string composite_name;
+    for (const ParsedSpec& part : parts) {
+        const PrefetcherEntry* entry = find(part.name);
+        if (!entry) {
+            if (part.name == "none")
+                throw std::invalid_argument(
+                    "'none' cannot appear in a composition: " + spec);
+            throw std::invalid_argument(
+                "unknown prefetcher '" + part.name + "'" +
+                didYouMean(part.name, names()) +
+                " (known: " + joinKeys(names()) + ")");
+        }
+
+        std::map<std::string, std::string> kv;
+        for (const auto& [key, value] : part.params) {
+            const bool known =
+                std::find(entry->param_keys.begin(),
+                          entry->param_keys.end(),
+                          key) != entry->param_keys.end();
+            if (!known)
+                throw std::invalid_argument(
+                    entry->name + ": unknown parameter '" + key + "'" +
+                    didYouMean(key, entry->param_keys) + " (accepted: " +
+                    joinKeys(entry->param_keys) + ")");
+            kv[key] = value;
+        }
+        built.push_back(
+            entry->factory(PrefetcherParams(entry->name, kv)));
+        if (!built.back())
+            throw std::logic_error("factory for '" + entry->name +
+                                   "' returned null");
+        if (!composite_name.empty())
+            composite_name += "+";
+        composite_name += entry->name;
+    }
+
+    if (built.size() == 1)
+        return std::move(built.front());
+    if (!composer_)
+        throw std::logic_error(
+            "no composition hook installed for spec: " + spec);
+    return composer_(composite_name, std::move(built));
+}
+
+// ---------------------------------------------------------- entry points
+
+std::unique_ptr<PrefetcherApi>
+makePrefetcher(const std::string& spec)
+{
+    return PrefetcherRegistry::instance().make(spec);
+}
+
+std::vector<std::string>
+prefetcherNames()
+{
+    return PrefetcherRegistry::instance().names();
+}
+
+} // namespace pythia::sim

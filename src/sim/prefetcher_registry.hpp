@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Self-registering prefetcher construction API.
+ *
+ * Every prefetcher translation unit drops a static PrefetcherRegistrar
+ * into the registry at load time, declaring its name, its tunable
+ * parameter keys and a factory from PrefetcherParams. Construction goes
+ * through parameterized spec strings (common/spec.hpp):
+ *
+ *     sim::makePrefetcher("spp")
+ *     sim::makePrefetcher("spp:max_lookahead=4")
+ *     sim::makePrefetcher("pythia:alpha=0.006,gamma=0.55")
+ *     sim::makePrefetcher("stride+spp+bingo")   // composite
+ *
+ * replacing the former hard-coded factory if-chains (pf::makeBaseline
+ * and harness::makePrefetcher). Errors carry "did you mean" hints for
+ * misspelled prefetcher or parameter names.
+ *
+ * This is the customization surface the paper argues for (§6.6): any
+ * prefetcher's knobs can be retuned per run, with no recompilation.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/prefetcher_api.hpp"
+
+namespace pythia::sim {
+
+/**
+ * Typed view over the key=value parameters of one spec part. Getters
+ * return the default when the key is absent and throw
+ * std::invalid_argument (naming the owning prefetcher and the key) when
+ * the value does not parse as the requested type.
+ */
+class PrefetcherParams
+{
+  public:
+    PrefetcherParams() = default;
+    PrefetcherParams(std::string owner,
+                     std::map<std::string, std::string> kv)
+        : owner_(std::move(owner)), kv_(std::move(kv))
+    {
+    }
+
+    /** Name of the prefetcher these params configure (for messages). */
+    const std::string& owner() const { return owner_; }
+
+    bool has(const std::string& key) const;
+
+    std::string getString(const std::string& key,
+                          const std::string& dflt = "") const;
+    std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
+    std::uint32_t getU32(const std::string& key, std::uint32_t dflt) const;
+    std::uint64_t getU64(const std::string& key, std::uint64_t dflt) const;
+    std::int32_t getI32(const std::string& key, std::int32_t dflt) const;
+    double getDouble(const std::string& key, double dflt) const;
+
+    /** All keys present, sorted. */
+    std::vector<std::string> keys() const;
+
+  private:
+    [[noreturn]] void badValue(const std::string& key,
+                               const std::string& value,
+                               const char* expected) const;
+
+    std::string owner_;
+    std::map<std::string, std::string> kv_;
+};
+
+/** Factory from parsed parameters to a live prefetcher. */
+using PrefetcherFactory =
+    std::function<std::unique_ptr<PrefetcherApi>(const PrefetcherParams&)>;
+
+/** One registry entry. */
+struct PrefetcherEntry
+{
+    std::string name;        ///< spec name (lowercase)
+    std::string description; ///< one-line help text
+    /** Parameter keys the factory accepts; anything else is rejected
+     *  with a did-you-mean hint before the factory runs. */
+    std::vector<std::string> param_keys;
+    PrefetcherFactory factory;
+};
+
+/**
+ * Process-wide prefetcher registry. Populated by static registrars; the
+ * composition hook (building one prefetcher out of several) is itself
+ * installed by the composite prefetcher's translation unit, so this
+ * layer never depends on any concrete prefetcher.
+ */
+class PrefetcherRegistry
+{
+  public:
+    using Composer = std::function<std::unique_ptr<PrefetcherApi>(
+        std::string name,
+        std::vector<std::unique_ptr<PrefetcherApi>> children)>;
+
+    static PrefetcherRegistry& instance();
+
+    /** Register an entry. @throws std::logic_error on duplicate names. */
+    void add(PrefetcherEntry entry);
+
+    /** Install the composition hook for "a+b" specs. */
+    void setComposer(Composer composer);
+
+    /**
+     * Resolve @p spec (see common/spec.hpp for the grammar) into a
+     * prefetcher. Returns nullptr for "none" or an empty spec.
+     * @throws std::invalid_argument for unknown names, unknown or
+     * ill-typed parameters and malformed specs, with actionable
+     * messages ("did you mean").
+     */
+    std::unique_ptr<PrefetcherApi> make(const std::string& spec) const;
+
+    /** All registered names, sorted (excludes "none"). */
+    std::vector<std::string> names() const;
+
+    /** Entry for @p name, or nullptr when unknown. */
+    const PrefetcherEntry* find(const std::string& name) const;
+
+  private:
+    PrefetcherRegistry() = default;
+
+    std::map<std::string, PrefetcherEntry> entries_;
+    Composer composer_;
+};
+
+/** Static registrar: file-scope instances self-register a prefetcher. */
+struct PrefetcherRegistrar
+{
+    PrefetcherRegistrar(std::string name, std::string description,
+                        std::vector<std::string> param_keys,
+                        PrefetcherFactory factory)
+    {
+        PrefetcherRegistry::instance().add(
+            {std::move(name), std::move(description),
+             std::move(param_keys), std::move(factory)});
+    }
+};
+
+/** Static registrar for the composition hook. */
+struct PrefetcherComposerRegistrar
+{
+    explicit PrefetcherComposerRegistrar(PrefetcherRegistry::Composer c)
+    {
+        PrefetcherRegistry::instance().setComposer(std::move(c));
+    }
+};
+
+/** The one construction entry point: resolve a spec string. */
+std::unique_ptr<PrefetcherApi> makePrefetcher(const std::string& spec);
+
+/** All registered prefetcher names, sorted (excluding "none"). */
+std::vector<std::string> prefetcherNames();
+
+} // namespace pythia::sim

@@ -234,7 +234,7 @@ DeltaChainGen::DeltaChainGen(std::string name, std::uint64_t seed,
     : GenBase(std::move(name), seed, params), deltas_(std::move(deltas))
 {
     assert(!deltas_.empty());
-    for (auto d : deltas_)
+    for ([[maybe_unused]] auto d : deltas_)
         assert(d > 0);
     resetState();
 }

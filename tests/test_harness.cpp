@@ -7,8 +7,9 @@
  */
 #include <gtest/gtest.h>
 
+#include "harness/experiment.hpp"
 #include "harness/metrics.hpp"
-#include "harness/runner.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::harness {
 namespace {
@@ -16,12 +17,8 @@ namespace {
 ExperimentSpec
 quickSpec(const std::string& workload, const std::string& pf)
 {
-    ExperimentSpec spec;
-    spec.workload = workload;
-    spec.prefetcher = pf;
-    spec.warmup_instrs = 30'000;
-    spec.sim_instrs = 80'000;
-    return spec;
+    return Experiment(workload).l2(pf).warmup(30'000).measure(80'000)
+        .build();
 }
 
 // ------------------------------------------------------------------- metrics
@@ -63,20 +60,30 @@ TEST(Metrics, AccuracyDefaultsToOneWithoutPrefetches)
 
 // -------------------------------------------------------------------- runner
 
-TEST(Runner, MakePrefetcherKnowsAllNames)
+TEST(Runner, RegistryKnowsAllHarnessNames)
 {
     for (const auto& name : harnessPrefetcherNames()) {
-        auto pf = makePrefetcher(name);
+        auto pf = sim::makePrefetcher(name);
         ASSERT_NE(pf, nullptr) << name;
     }
-    EXPECT_EQ(makePrefetcher("none"), nullptr);
+    EXPECT_EQ(sim::makePrefetcher("none"), nullptr);
 }
 
 TEST(Runner, PythiaCustomRequiresConfig)
 {
-    EXPECT_THROW(makePrefetcher("pythia_custom"), std::invalid_argument);
-    rl::PythiaConfig cfg;
-    EXPECT_NE(makePrefetcher("pythia_custom", cfg), nullptr);
+    // "pythia_custom" is the one spec the registry cannot build: it
+    // needs an explicit config object, attached via the builder.
+    ExperimentSpec spec = quickSpec("470.lbm-164B", "pythia_custom");
+    spec.warmup_instrs = 1'000;
+    spec.sim_instrs = 2'000;
+    EXPECT_THROW(simulate(spec), std::invalid_argument);
+
+    const auto res = Experiment("470.lbm-164B")
+                         .l2Pythia(rl::PythiaConfig{})
+                         .warmup(1'000)
+                         .measure(2'000)
+                         .simulate();
+    EXPECT_GT(res.ipc_geomean, 0.0);
 }
 
 TEST(Runner, BaselineCachedAcrossEvaluations)

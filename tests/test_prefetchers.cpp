@@ -18,10 +18,10 @@
 #include "prefetchers/nextline.hpp"
 #include "prefetchers/power7.hpp"
 #include "prefetchers/ppf.hpp"
-#include "prefetchers/registry.hpp"
 #include "prefetchers/spp.hpp"
 #include "prefetchers/streamer.hpp"
 #include "prefetchers/stride.hpp"
+#include "sim/prefetcher_registry.hpp"
 
 namespace pythia::pf {
 namespace {
@@ -485,8 +485,8 @@ TEST(Ppf, RejectsAfterNegativeTraining)
 
 TEST(Registry, AllNamesConstruct)
 {
-    for (const auto& name : baselineNames()) {
-        auto pf = makeBaseline(name);
+    for (const auto& name : sim::prefetcherNames()) {
+        auto pf = sim::makePrefetcher(name);
         ASSERT_NE(pf, nullptr) << name;
         EXPECT_EQ(pf->name(), name);
     }
@@ -494,22 +494,25 @@ TEST(Registry, AllNamesConstruct)
 
 TEST(Registry, NoneIsNull)
 {
-    EXPECT_EQ(makeBaseline("none"), nullptr);
+    EXPECT_EQ(sim::makePrefetcher("none"), nullptr);
 }
 
 TEST(Registry, UnknownThrows)
 {
-    EXPECT_THROW(makeBaseline("warp-drive"), std::invalid_argument);
+    EXPECT_THROW(sim::makePrefetcher("warp-drive"),
+                 std::invalid_argument);
 }
 
 TEST(Registry, StorageBudgetsMatchTable7)
 {
     // Paper Table 7 metadata budgets (bytes, approximate).
-    EXPECT_NEAR(makeBaseline("spp")->storageBytes(), 6349, 64);
-    EXPECT_NEAR(makeBaseline("bingo")->storageBytes(), 47104, 64);
-    EXPECT_NEAR(makeBaseline("mlop")->storageBytes(), 8192, 64);
-    EXPECT_NEAR(makeBaseline("dspatch")->storageBytes(), 3686, 64);
-    EXPECT_NEAR(makeBaseline("spp_ppf")->storageBytes(), 40243, 64);
+    EXPECT_NEAR(sim::makePrefetcher("spp")->storageBytes(), 6349, 64);
+    EXPECT_NEAR(sim::makePrefetcher("bingo")->storageBytes(), 47104, 64);
+    EXPECT_NEAR(sim::makePrefetcher("mlop")->storageBytes(), 8192, 64);
+    EXPECT_NEAR(sim::makePrefetcher("dspatch")->storageBytes(), 3686,
+                64);
+    EXPECT_NEAR(sim::makePrefetcher("spp_ppf")->storageBytes(), 40243,
+                64);
 }
 
 /** Property: no prefetcher ever emits a target outside the demand page
@@ -520,7 +523,7 @@ class PageLocality : public ::testing::TestWithParam<std::string>
 
 TEST_P(PageLocality, AllTargetsStayInPage)
 {
-    auto pf = makeBaseline(GetParam());
+    auto pf = sim::makePrefetcher(GetParam());
     ASSERT_NE(pf, nullptr);
     Rng rng(99);
     std::vector<PrefetchRequest> out;

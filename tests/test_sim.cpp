@@ -11,7 +11,7 @@
 #include "sim/dram.hpp"
 #include "sim/replacement.hpp"
 #include "sim/system.hpp"
-#include "prefetchers/registry.hpp"
+#include "sim/prefetcher_registry.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/suites.hpp"
 
@@ -546,8 +546,8 @@ TEST(System, PrefetcherImprovesStreamingIpc)
         std::vector<std::unique_ptr<wl::Workload>> w;
         w.push_back(wl::makeWorkload("462.libquantum-1343B"));
         System sys(cfg, std::move(w));
-        if (std::string(pf) != "none")
-            sys.attachL2Prefetcher(0, pf::makeBaseline(pf));
+        if (auto built = makePrefetcher(pf))
+            sys.attachL2Prefetcher(0, std::move(built));
         sys.warmup(20000);
         return sys.run(50000).ipc_geomean;
     };

@@ -7,7 +7,8 @@
  */
 #include <gtest/gtest.h>
 
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
+#include "sim/prefetcher_registry.hpp"
 #include "sim/system.hpp"
 #include "workloads/suites.hpp"
 
@@ -35,12 +36,11 @@ class SystemGrid : public ::testing::TestWithParam<GridParam>
   protected:
     ExperimentSpec spec() const
     {
-        ExperimentSpec s;
-        s.workload = GetParam().workload;
-        s.prefetcher = GetParam().prefetcher;
-        s.warmup_instrs = 15'000;
-        s.sim_instrs = 40'000;
-        return s;
+        return Experiment(GetParam().workload)
+            .l2(GetParam().prefetcher)
+            .warmup(15'000)
+            .measure(40'000)
+            .build();
     }
 };
 
@@ -60,8 +60,9 @@ TEST_P(SystemGrid, CoverageRequiresPrefetches)
 {
     Runner runner;
     const auto o = runner.evaluate(spec());
-    if (o.metrics.coverage > 0.05)
+    if (o.metrics.coverage > 0.05) {
         EXPECT_GT(o.run.prefetch_issued, 0u);
+    }
 }
 
 TEST_P(SystemGrid, PrefetchAccountingConserved)
@@ -81,8 +82,8 @@ TEST_P(SystemGrid, DemandHitsPlusMissesEqualAccesses)
 {
     ExperimentSpec s = spec();
     sim::System system(systemConfigFor(s), workloadsFor(s));
-    if (s.prefetcher != "none")
-        system.attachL2Prefetcher(0, makePrefetcher(s.prefetcher));
+    if (auto built = sim::makePrefetcher(s.prefetcher))
+        system.attachL2Prefetcher(0, std::move(built));
     system.warmup(s.warmup_instrs);
     const auto res = system.run(s.sim_instrs);
     (void)res;
