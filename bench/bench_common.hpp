@@ -2,25 +2,32 @@
  * @file
  * Shared plumbing for the per-figure/table benchmark binaries.
  *
- * Every bench regenerates one artifact of the paper's evaluation: it runs
- * the same sweep the figure reports, prints the series as an aligned
- * table and writes a CSV next to the working directory. Simulation
- * windows are scaled-down analogues of the paper's 100M/500M windows
- * (see DESIGN.md §4); pass sim_scale=<f> on the command line to grow or
- * shrink them.
+ * Every bench regenerates one artifact of the paper's evaluation: it
+ * declares the sweep the figure reports as a harness::Sweep, executes it
+ * on a ParallelRunner worker pool, prints the series as an aligned table
+ * and writes a CSV next to the working directory. Simulation windows are
+ * scaled-down analogues of the paper's 100M/500M windows (see DESIGN.md
+ * §4); pass sim_scale=<f> on the command line to grow or shrink them and
+ * jobs=<n> to set the worker count (default: hardware concurrency).
+ * Unknown or misspelled key=value arguments are rejected with a
+ * "did you mean" hint.
  */
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "workloads/suites.hpp"
 
 namespace pythia::bench {
@@ -29,13 +36,49 @@ namespace pythia::bench {
 inline constexpr std::uint64_t kWarmup = 60'000;
 inline constexpr std::uint64_t kSim = 150'000;
 
-/** Scale factor from the command line (sim_scale=2 doubles windows). */
-inline double
-simScale(int argc, char** argv)
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
 {
-    Config cli;
-    cli.parseArgs(argc, argv);
-    return cli.getDouble("sim_scale", 1.0);
+    double sim_scale = 1.0; ///< multiplies both simulation windows
+    unsigned jobs = 0;      ///< worker threads; 0 = hardware concurrency
+    Config cli;             ///< full parse, for bench-specific keys
+};
+
+/**
+ * Parse the bench command line strictly: sim_scale=<f> and jobs=<n> are
+ * always accepted, @p extra_keys adds bench-specific ones. Malformed
+ * tokens and unknown keys terminate the bench with a hint (a typo like
+ * "sim_scal=2" must not silently run the defaults).
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char** argv,
+               const std::vector<std::string>& extra_keys = {})
+{
+    std::vector<std::string> allowed = {"sim_scale", "jobs"};
+    allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
+    BenchOptions opt;
+    try {
+        opt.cli.parseArgsStrict(argc, argv, allowed);
+        opt.sim_scale = opt.cli.getDouble("sim_scale", 1.0);
+        const std::int64_t jobs = opt.cli.getInt("jobs", 0);
+        if (jobs < 0)
+            throw std::invalid_argument("jobs must be >= 0 (0 = auto)");
+        opt.jobs = static_cast<unsigned>(jobs);
+    } catch (const std::exception& e) {
+        std::cerr << (argc > 0 ? argv[0] : "bench") << ": " << e.what()
+                  << "\n";
+        std::exit(2);
+    }
+    return opt;
+}
+
+/** Execute @p sweep on @p opt.jobs workers (replaying callbacks in
+ *  declaration order) and return the outcomes in job order. */
+inline std::vector<harness::Runner::Outcome>
+runSweep(harness::Sweep& sweep, harness::Runner& runner,
+         const BenchOptions& opt)
+{
+    return harness::ParallelRunner(opt.jobs).run(runner, sweep);
 }
 
 /** Single-core experiment with the bench-standard windows; @p pf is a
@@ -68,24 +111,34 @@ representativeWorkloads()
     return w;
 }
 
-/** Geomean speedup of @p pf over the baseline across @p workloads;
- *  @p tweak customizes each experiment through the fluent builder. */
-inline double
-geomeanSpeedup(
-    harness::Runner& runner, const std::vector<std::string>& workloads,
+/**
+ * Declare the jobs for the geomean speedup of @p pf over @p workloads
+ * into @p sweep; @p tweak customizes each experiment through the fluent
+ * builder and @p done receives the geomean during the ordered replay,
+ * after the group's last job. The sweep-engine analogue of the old
+ * serial geomeanSpeedup() loop: cells of one table row can now all be
+ * in flight at once.
+ */
+inline void
+addGeomeanSpeedup(
+    harness::Sweep& sweep, const std::vector<std::string>& workloads,
     const std::string& pf,
-    const std::function<void(harness::ExperimentBuilder&)>& tweak = {},
-    double scale = 1.0)
+    const std::function<void(harness::ExperimentBuilder&)>& tweak,
+    double scale, std::function<void(double)> done)
 {
-    std::vector<double> speedups;
+    auto speedups = std::make_shared<std::vector<double>>();
+    speedups->reserve(workloads.size());
     for (const auto& w : workloads) {
         harness::ExperimentBuilder exp = exp1c(w, pf, scale);
         if (tweak)
             tweak(exp);
-        speedups.push_back(
-            std::max(1e-6, exp.run(runner).metrics.speedup));
+        sweep.add(exp, [speedups](const harness::Runner::Outcome& o) {
+            speedups->push_back(std::max(1e-6, o.metrics.speedup));
+        });
     }
-    return geomean(speedups);
+    sweep.then([speedups, done = std::move(done)] {
+        done(geomean(*speedups));
+    });
 }
 
 /** Emit the table to stdout and CSV (named after the bench binary). */

@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     const std::vector<std::string> workloads = {
         "482.sphinx3-417B", "PARSEC-Canneal",  "PARSEC-Facesim",
@@ -25,14 +25,18 @@ main(int argc, char** argv)
     Table table("Fig.1 — motivation: coverage / overprediction / IPC");
     table.setHeader({"workload", "prefetcher", "coverage", "overpred",
                      "ipc_improvement"});
-    for (const auto& w : workloads) {
-        for (const auto& pf : prefetchers) {
-            const auto o = bench::exp1c(w, pf, scale).run(runner);
-            table.addRow({w, pf, Table::pct(o.metrics.coverage),
-                          Table::pct(o.metrics.overprediction),
-                          Table::pct(o.metrics.speedup - 1.0)});
-        }
-    }
+    harness::Sweep sweep;
+    sweep.grid(workloads, prefetchers,
+               [&](const std::string& w, const std::string& pf) {
+                   return bench::exp1c(w, pf, opt.sim_scale);
+               },
+               [&](const std::string& w, const std::string& pf,
+                   const harness::Runner::Outcome& o) {
+                   table.addRow({w, pf, Table::pct(o.metrics.coverage),
+                                 Table::pct(o.metrics.overprediction),
+                                 Table::pct(o.metrics.speedup - 1.0)});
+               });
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig01_motivation");
     return 0;
 }

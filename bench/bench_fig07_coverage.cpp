@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
 
@@ -22,23 +22,34 @@ main(int argc, char** argv)
     table.setHeader(
         {"suite", "prefetcher", "coverage", "overprediction"});
 
+    // One job per (suite, prefetcher, workload); each (suite, pf) group
+    // aggregates into its row during the ordered replay.
     std::map<std::string, std::vector<harness::Metrics>> all;
+    harness::Sweep sweep;
     for (const auto& suite : wl::suiteNames()) {
         for (const auto& pf : prefetchers) {
-            double cov = 0.0, over = 0.0;
-            int n = 0;
-            for (const auto* w : wl::suiteWorkloads(suite)) {
-                const auto o =
-                    bench::exp1c(w->name, pf, scale).run(runner);
-                cov += o.metrics.coverage;
-                over += o.metrics.overprediction;
-                all[pf].push_back(o.metrics);
-                ++n;
-            }
-            table.addRow({suite, pf, Table::pct(cov / n),
-                          Table::pct(over / n)});
+            struct Acc
+            {
+                double cov = 0.0, over = 0.0;
+                int n = 0;
+            };
+            auto acc = std::make_shared<Acc>();
+            for (const auto* w : wl::suiteWorkloads(suite))
+                sweep.add(bench::exp1c(w->name, pf, opt.sim_scale),
+                          [&, acc,
+                           pf](const harness::Runner::Outcome& o) {
+                              acc->cov += o.metrics.coverage;
+                              acc->over += o.metrics.overprediction;
+                              all[pf].push_back(o.metrics);
+                              ++acc->n;
+                          });
+            sweep.then([&, acc, suite, pf] {
+                table.addRow({suite, pf, Table::pct(acc->cov / acc->n),
+                              Table::pct(acc->over / acc->n)});
+            });
         }
     }
+    bench::runSweep(sweep, runner, opt);
     for (const auto& pf : prefetchers) {
         double cov = 0.0, over = 0.0;
         for (const auto& m : all[pf]) {

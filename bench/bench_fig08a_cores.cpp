@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint32_t> core_counts = {1, 2, 4, 8, 12};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "spp_ppf", "pythia"};
@@ -27,22 +27,24 @@ main(int argc, char** argv)
         header.push_back(pf);
     table.setHeader(header);
 
+    harness::Sweep sweep;
     for (std::uint32_t cores : core_counts) {
-        std::vector<std::string> row = {std::to_string(cores)};
-        for (const auto& pf : prefetchers) {
-            const double g = bench::geomeanSpeedup(
-                runner, workloads, pf,
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{std::to_string(cores)});
+        for (const auto& pf : prefetchers)
+            bench::addGeomeanSpeedup(
+                sweep, workloads, pf,
                 [cores](harness::ExperimentBuilder& e) {
                     e.cores(cores);
                     // Keep total simulated work bounded.
                     if (cores > 2)
                         e.scaleWindows(1.0 / 3);
                 },
-                scale);
-            row.push_back(Table::fmt(g));
-        }
-        table.addRow(row);
+                opt.sim_scale,
+                [row](double g) { row->push_back(Table::fmt(g)); });
+        sweep.then([&table, row] { table.addRow(*row); });
     }
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig08a_cores");
     return 0;
 }

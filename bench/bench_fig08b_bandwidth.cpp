@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint32_t> mtps_points = {150, 300,  600, 1200,
                                                     2400, 4800, 9600};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
@@ -27,17 +27,19 @@ main(int argc, char** argv)
         header.push_back(pf);
     table.setHeader(header);
 
+    harness::Sweep sweep;
     for (std::uint32_t mtps : mtps_points) {
-        std::vector<std::string> row = {std::to_string(mtps)};
-        for (const auto& pf : prefetchers) {
-            const double g = bench::geomeanSpeedup(
-                runner, workloads, pf,
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{std::to_string(mtps)});
+        for (const auto& pf : prefetchers)
+            bench::addGeomeanSpeedup(
+                sweep, workloads, pf,
                 [mtps](harness::ExperimentBuilder& e) { e.mtps(mtps); },
-                scale);
-            row.push_back(Table::fmt(g));
-        }
-        table.addRow(row);
+                opt.sim_scale,
+                [row](double g) { row->push_back(Table::fmt(g)); });
+        sweep.then([&table, row] { table.addRow(*row); });
     }
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig08b_bandwidth");
     return 0;
 }

@@ -11,7 +11,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint64_t> llc_sizes = {
         256ull << 10, 512ull << 10, 1ull << 20, 2ull << 20, 4ull << 20};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
@@ -25,19 +25,21 @@ main(int argc, char** argv)
         header.push_back(pf);
     table.setHeader(header);
 
+    harness::Sweep sweep;
     for (std::uint64_t llc : llc_sizes) {
-        std::vector<std::string> row = {std::to_string(llc >> 10)};
-        for (const auto& pf : prefetchers) {
-            const double g = bench::geomeanSpeedup(
-                runner, workloads, pf,
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{std::to_string(llc >> 10)});
+        for (const auto& pf : prefetchers)
+            bench::addGeomeanSpeedup(
+                sweep, workloads, pf,
                 [llc](harness::ExperimentBuilder& e) {
                     e.llcBytesPerCore(llc);
                 },
-                scale);
-            row.push_back(Table::fmt(g));
-        }
-        table.addRow(row);
+                opt.sim_scale,
+                [row](double g) { row->push_back(Table::fmt(g)); });
+        sweep.then([&table, row] { table.addRow(*row); });
     }
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig08c_llc");
     return 0;
 }

@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint32_t> mtps_points = {150, 300,  600, 1200,
                                                     2400, 4800, 9600};
     struct Scheme
@@ -36,19 +36,23 @@ main(int argc, char** argv)
         header.push_back(s.label);
     table.setHeader(header);
 
+    harness::Sweep sweep;
     for (std::uint32_t mtps : mtps_points) {
-        std::vector<std::string> row = {std::to_string(mtps)};
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{std::to_string(mtps)});
         for (const auto& scheme : schemes) {
-            const double g = bench::geomeanSpeedup(
-                runner, workloads, scheme.l2,
-                [&](harness::ExperimentBuilder& e) {
-                    e.mtps(mtps).l1(scheme.l1);
+            const std::string l1 = scheme.l1;
+            bench::addGeomeanSpeedup(
+                sweep, workloads, scheme.l2,
+                [mtps, l1](harness::ExperimentBuilder& e) {
+                    e.mtps(mtps).l1(l1);
                 },
-                scale);
-            row.push_back(Table::fmt(g));
+                opt.sim_scale,
+                [row](double g) { row->push_back(Table::fmt(g)); });
         }
-        table.addRow(row);
+        sweep.then([&table, row] { table.addRow(*row); });
     }
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig08d_multilevel");
     return 0;
 }

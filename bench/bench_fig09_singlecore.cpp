@@ -16,7 +16,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
 
@@ -28,20 +28,30 @@ main(int argc, char** argv)
     a.setHeader(header);
 
     std::map<std::string, std::vector<double>> overall;
+    harness::Sweep sweep_a;
     for (const auto& suite : wl::suiteNames()) {
-        std::vector<std::string> row = {suite};
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{suite});
+        std::vector<std::string> names;
+        for (const auto* w : wl::suiteWorkloads(suite))
+            names.push_back(w->name);
         for (const auto& pf : prefetchers) {
-            std::vector<double> speedups;
-            for (const auto* w : wl::suiteWorkloads(suite)) {
-                const auto o =
-                    bench::exp1c(w->name, pf, scale).run(runner);
-                speedups.push_back(std::max(1e-6, o.metrics.speedup));
-                overall[pf].push_back(speedups.back());
-            }
-            row.push_back(Table::fmt(geomean(speedups)));
+            auto speedups = std::make_shared<std::vector<double>>();
+            for (const auto& w : names)
+                sweep_a.add(
+                    bench::exp1c(w, pf, opt.sim_scale),
+                    [&, speedups, pf](const harness::Runner::Outcome& o) {
+                        speedups->push_back(
+                            std::max(1e-6, o.metrics.speedup));
+                        overall[pf].push_back(speedups->back());
+                    });
+            sweep_a.then([row, speedups] {
+                row->push_back(Table::fmt(geomean(*speedups)));
+            });
         }
-        a.addRow(row);
+        sweep_a.then([&a, row] { a.addRow(*row); });
     }
+    bench::runSweep(sweep_a, runner, opt);
     std::vector<std::string> row = {"GEOMEAN"};
     for (const auto& pf : prefetchers)
         row.push_back(Table::fmt(geomean(overall[pf])));
@@ -53,14 +63,17 @@ main(int argc, char** argv)
     std::vector<std::string> all_names;
     for (const auto& w : wl::allWorkloads())
         all_names.push_back(w.name);
+    harness::Sweep sweep_b;
     for (const char* pf : {"st", "st_s", "st_s_b", "st_s_b_d",
                            "st_s_b_d_m", "pythia"}) {
-        const double g =
-            bench::geomeanSpeedup(runner, all_names, pf, {}, scale);
-        const auto built = sim::makePrefetcher(pf);
-        b.addRow({pf, Table::fmt(g),
-                  Table::fmt(built->storageBytes() / 1024.0, 1)});
+        bench::addGeomeanSpeedup(
+            sweep_b, all_names, pf, {}, opt.sim_scale, [&b, pf](double g) {
+                const auto built = sim::makePrefetcher(pf);
+                b.addRow({pf, Table::fmt(g),
+                          Table::fmt(built->storageBytes() / 1024.0, 1)});
+            });
     }
+    bench::runSweep(sweep_b, runner, opt);
     bench::finish(b, "fig09b_combinations");
     return 0;
 }

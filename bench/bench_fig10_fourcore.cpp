@@ -14,7 +14,8 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    const double scale = opt.sim_scale;
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
     // One representative workload per suite (4-core runs are 4x the work).
@@ -39,24 +40,30 @@ main(int argc, char** argv)
     a.setHeader(header);
 
     std::map<std::string, std::vector<double>> overall;
-    std::map<std::string, std::vector<double>> by_suite_speedup;
+    harness::Sweep sweep_a;
     for (const auto& [suite, workload] : picks) {
-        std::vector<std::string> row = {suite + "/" + workload};
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{suite + "/" + workload});
         for (const auto& pf : prefetchers) {
             harness::ExperimentBuilder exp =
                 bench::exp1c(workload, pf, scale);
             four_core(exp);
-            const auto o = exp.run(runner);
-            row.push_back(Table::fmt(o.metrics.speedup));
-            overall[pf].push_back(std::max(1e-6, o.metrics.speedup));
+            sweep_a.add(exp,
+                        [&, row, pf](const harness::Runner::Outcome& o) {
+                            row->push_back(
+                                Table::fmt(o.metrics.speedup));
+                            overall[pf].push_back(
+                                std::max(1e-6, o.metrics.speedup));
+                        });
         }
-        a.addRow(row);
+        sweep_a.then([&a, row] { a.addRow(*row); });
     }
     // Heterogeneous mix row.
     {
-        std::vector<std::string> row = {"Mix(hetero)"};
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{"Mix(hetero)"});
         for (const auto& pf : prefetchers) {
-            const auto o =
+            sweep_a.add(
                 harness::Experiment()
                     .mix({"462.libquantum-1343B", "429.mcf-184B",
                           "PARSEC-Canneal", "Ligra-CC"})
@@ -65,13 +72,16 @@ main(int argc, char** argv)
                     .warmup(static_cast<std::uint64_t>(bench::kWarmup *
                                                        scale / 2))
                     .measure(static_cast<std::uint64_t>(bench::kSim *
-                                                        scale / 2))
-                    .run(runner);
-            row.push_back(Table::fmt(o.metrics.speedup));
-            overall[pf].push_back(std::max(1e-6, o.metrics.speedup));
+                                                        scale / 2)),
+                [&, row, pf](const harness::Runner::Outcome& o) {
+                    row->push_back(Table::fmt(o.metrics.speedup));
+                    overall[pf].push_back(
+                        std::max(1e-6, o.metrics.speedup));
+                });
         }
-        a.addRow(row);
+        sweep_a.then([&a, row] { a.addRow(*row); });
     }
+    bench::runSweep(sweep_a, runner, opt);
     std::vector<std::string> grow = {"GEOMEAN"};
     for (const auto& pf : prefetchers)
         grow.push_back(Table::fmt(geomean(overall[pf])));
@@ -83,12 +93,15 @@ main(int argc, char** argv)
     std::vector<std::string> workloads;
     for (const auto& [suite, w] : picks)
         workloads.push_back(w);
+    harness::Sweep sweep_b;
     for (const char* pf : {"st", "st_s", "st_s_b", "st_s_b_d",
                            "st_s_b_d_m", "pythia"}) {
-        const double g = bench::geomeanSpeedup(runner, workloads, pf,
-                                               four_core, scale);
-        b.addRow({pf, Table::fmt(g)});
+        bench::addGeomeanSpeedup(sweep_b, workloads, pf, four_core,
+                                 scale, [&b, pf](double g) {
+                                     b.addRow({pf, Table::fmt(g)});
+                                 });
     }
+    bench::runSweep(sweep_b, runner, opt);
     bench::finish(b, "fig10b_combinations");
     return 0;
 }

@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint32_t> mtps_points = {150, 300,  600, 1200,
                                                     2400, 4800, 9600};
     const auto& workloads = bench::representativeWorkloads();
@@ -21,18 +21,28 @@ main(int argc, char** argv)
     harness::Runner runner;
     Table table("Fig.11 — BW-oblivious Pythia normalized to basic");
     table.setHeader({"mtps", "basic", "bw_oblivious", "delta"});
+    harness::Sweep sweep;
     for (std::uint32_t mtps : mtps_points) {
         auto set_mtps = [mtps](harness::ExperimentBuilder& e) {
             e.mtps(mtps);
         };
-        const double basic = bench::geomeanSpeedup(
-            runner, workloads, "pythia", set_mtps, scale);
-        const double oblivious = bench::geomeanSpeedup(
-            runner, workloads, "pythia_bwobl", set_mtps, scale);
-        table.addRow({std::to_string(mtps), Table::fmt(basic),
-                      Table::fmt(oblivious),
-                      Table::pct(oblivious / basic - 1.0)});
+        auto basic = std::make_shared<double>(0.0);
+        auto oblivious = std::make_shared<double>(0.0);
+        bench::addGeomeanSpeedup(sweep, workloads, "pythia", set_mtps,
+                                 opt.sim_scale,
+                                 [basic](double g) { *basic = g; });
+        bench::addGeomeanSpeedup(sweep, workloads, "pythia_bwobl",
+                                 set_mtps, opt.sim_scale,
+                                 [oblivious](double g) {
+                                     *oblivious = g;
+                                 });
+        sweep.then([&table, mtps, basic, oblivious] {
+            table.addRow({std::to_string(mtps), Table::fmt(*basic),
+                          Table::fmt(*oblivious),
+                          Table::pct(*oblivious / *basic - 1.0)});
+        });
     }
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig11_bwablation");
     return 0;
 }

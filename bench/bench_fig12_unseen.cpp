@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
 
@@ -32,22 +32,25 @@ main(int argc, char** argv)
             groups[w.suite].push_back(w.name);
 
         std::map<std::string, std::vector<double>> overall;
+        harness::Sweep sweep;
         for (const auto& [category, names] : groups) {
-            std::vector<std::string> row = {category};
-            for (const auto& pf : prefetchers) {
-                const double g = bench::geomeanSpeedup(
-                    runner, names, pf,
+            auto row = std::make_shared<std::vector<std::string>>(
+                std::vector<std::string>{category});
+            for (const auto& pf : prefetchers)
+                bench::addGeomeanSpeedup(
+                    sweep, names, pf,
                     [cores](harness::ExperimentBuilder& e) {
                         e.cores(cores);
                         if (cores > 1)
                             e.scaleWindows(0.5);
                     },
-                    scale);
-                row.push_back(Table::fmt(g));
-                overall[pf].push_back(g);
-            }
-            table.addRow(row);
+                    opt.sim_scale, [&overall, row, pf](double g) {
+                        row->push_back(Table::fmt(g));
+                        overall[pf].push_back(g);
+                    });
+            sweep.then([&table, row] { table.addRow(*row); });
         }
+        bench::runSweep(sweep, runner, opt);
         std::vector<std::string> row = {"GEOMEAN"};
         for (const auto& pf : prefetchers)
             row.push_back(Table::fmt(geomean(overall[pf])));

@@ -18,7 +18,9 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    // Not sweep-shaped: one System sampled as training progresses, so
+    // only the strict CLI plumbing applies (jobs= is accepted but moot).
+    const double scale = bench::parseBenchArgs(argc, argv).sim_scale;
 
     const harness::ExperimentSpec spec =
         bench::exp1c("459.GemsFDTD-1320B", "pythia", scale).build();

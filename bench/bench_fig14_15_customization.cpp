@@ -17,40 +17,55 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     harness::Runner runner;
     Table f14("Fig.14 — Ligra-CC bandwidth buckets & performance");
     f14.setHeader({"prefetcher", "<25%", "25-50%", "50-75%", ">=75%",
                    "ipc_improvement"});
+    harness::Sweep sweep14;
     for (const char* pf : {"none", "spp", "bingo", "mlop", "pythia",
                            "pythia_strict"}) {
-        const auto o = bench::exp1c("Ligra-CC", pf, scale).run(runner);
-        const auto& b = o.run.dram_buckets;
-        f14.addRow({pf, Table::pct(b[0]), Table::pct(b[1]),
-                    Table::pct(b[2]), Table::pct(b[3]),
-                    Table::pct(o.metrics.speedup - 1.0)});
+        sweep14.add(bench::exp1c("Ligra-CC", pf, opt.sim_scale),
+                    [&f14, pf](const harness::Runner::Outcome& o) {
+                        const auto& b = o.run.dram_buckets;
+                        f14.addRow({pf, Table::pct(b[0]),
+                                    Table::pct(b[1]), Table::pct(b[2]),
+                                    Table::pct(b[3]),
+                                    Table::pct(o.metrics.speedup - 1.0)});
+                    });
     }
+    bench::runSweep(sweep14, runner, opt);
     bench::finish(f14, "fig14_ligra_cc");
 
     Table f15("Fig.15 — basic vs strict Pythia on the Ligra suite");
     f15.setHeader({"workload", "basic", "strict", "delta"});
-    std::vector<double> basics, stricts;
+    auto basics = std::make_shared<std::vector<double>>();
+    auto stricts = std::make_shared<std::vector<double>>();
+    harness::Sweep sweep15;
     for (const auto* w : wl::suiteWorkloads("Ligra")) {
-        const auto basic =
-            bench::exp1c(w->name, "pythia", scale).run(runner);
-        const auto strict =
-            bench::exp1c(w->name, "pythia_strict", scale).run(runner);
-        basics.push_back(std::max(1e-6, basic.metrics.speedup));
-        stricts.push_back(std::max(1e-6, strict.metrics.speedup));
-        f15.addRow({w->name, Table::fmt(basic.metrics.speedup),
-                    Table::fmt(strict.metrics.speedup),
-                    Table::pct(strict.metrics.speedup /
-                                   basic.metrics.speedup - 1.0)});
+        auto basic = std::make_shared<double>(0.0);
+        auto strict = std::make_shared<double>(0.0);
+        sweep15.add(bench::exp1c(w->name, "pythia", opt.sim_scale),
+                    [basic](const harness::Runner::Outcome& o) {
+                        *basic = o.metrics.speedup;
+                    });
+        sweep15.add(
+            bench::exp1c(w->name, "pythia_strict", opt.sim_scale),
+            [strict](const harness::Runner::Outcome& o) {
+                *strict = o.metrics.speedup;
+            });
+        sweep15.then([&f15, basics, stricts, basic, strict, w] {
+            basics->push_back(std::max(1e-6, *basic));
+            stricts->push_back(std::max(1e-6, *strict));
+            f15.addRow({w->name, Table::fmt(*basic), Table::fmt(*strict),
+                        Table::pct(*strict / *basic - 1.0)});
+        });
     }
-    f15.addRow({"GEOMEAN", Table::fmt(geomean(basics)),
-                Table::fmt(geomean(stricts)),
-                Table::pct(geomean(stricts) / geomean(basics) - 1.0)});
+    bench::runSweep(sweep15, runner, opt);
+    f15.addRow({"GEOMEAN", Table::fmt(geomean(*basics)),
+                Table::fmt(geomean(*stricts)),
+                Table::pct(geomean(*stricts) / geomean(*basics) - 1.0)});
     bench::finish(f15, "fig15_strict_pythia");
     return 0;
 }

@@ -18,7 +18,7 @@ main(int argc, char** argv)
     using rl::ControlKind;
     using rl::DataKind;
     using rl::FeatureSpec;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     // Candidate state vectors (a cross-section of the 32-feature space).
     const std::vector<std::vector<FeatureSpec>> candidates = {
@@ -37,32 +37,49 @@ main(int argc, char** argv)
     Table table("Fig.16 — basic vs feature-optimized Pythia (SPEC06)");
     table.setHeader({"workload", "basic", "optimized", "best_features",
                      "delta"});
-    std::vector<double> basics, opts;
+    auto basics = std::make_shared<std::vector<double>>();
+    auto opts = std::make_shared<std::vector<double>>();
+    harness::Sweep sweep;
     for (const auto* w : wl::suiteWorkloads("SPEC06")) {
-        const auto basic =
-            bench::exp1c(w->name, "pythia", scale).run(runner);
-        double best = basic.metrics.speedup;
-        std::string best_name = "basic";
+        struct Best
+        {
+            double basic = 0.0;
+            double best = 0.0;
+            std::string best_name = "basic";
+        };
+        auto acc = std::make_shared<Best>();
+        sweep.add(bench::exp1c(w->name, "pythia", opt.sim_scale),
+                  [acc](const harness::Runner::Outcome& o) {
+                      acc->basic = o.metrics.speedup;
+                      acc->best = o.metrics.speedup;
+                  });
+        // The candidate jobs replay after the basic job, so comparing
+        // against acc->best is well-defined whatever finished first.
         for (const auto& features : candidates) {
             auto cfg = rl::scaledForSimLength(
                 rl::withFeatures(rl::basicPythiaConfig(), features));
-            const auto o = bench::exp1c(w->name, "pythia", scale)
-                               .l2Pythia(cfg)
-                               .run(runner);
-            if (o.metrics.speedup > best) {
-                best = o.metrics.speedup;
-                best_name = cfg.name;
-            }
+            const std::string cfg_name = cfg.name;
+            sweep.add(bench::exp1c(w->name, "pythia", opt.sim_scale)
+                          .l2Pythia(cfg),
+                      [acc, cfg_name](const harness::Runner::Outcome& o) {
+                          if (o.metrics.speedup > acc->best) {
+                              acc->best = o.metrics.speedup;
+                              acc->best_name = cfg_name;
+                          }
+                      });
         }
-        basics.push_back(std::max(1e-6, basic.metrics.speedup));
-        opts.push_back(std::max(1e-6, best));
-        table.addRow({w->name, Table::fmt(basic.metrics.speedup),
-                      Table::fmt(best), best_name,
-                      Table::pct(best / basic.metrics.speedup - 1.0)});
+        sweep.then([&table, basics, opts, acc, w] {
+            basics->push_back(std::max(1e-6, acc->basic));
+            opts->push_back(std::max(1e-6, acc->best));
+            table.addRow({w->name, Table::fmt(acc->basic),
+                          Table::fmt(acc->best), acc->best_name,
+                          Table::pct(acc->best / acc->basic - 1.0)});
+        });
     }
-    table.addRow({"GEOMEAN", Table::fmt(geomean(basics)),
-                  Table::fmt(geomean(opts)), "-",
-                  Table::pct(geomean(opts) / geomean(basics) - 1.0)});
+    bench::runSweep(sweep, runner, opt);
+    table.addRow({"GEOMEAN", Table::fmt(geomean(*basics)),
+                  Table::fmt(geomean(*opts)), "-",
+                  Table::pct(geomean(*opts) / geomean(*basics) - 1.0)});
     bench::finish(table, "fig16_features");
     return 0;
 }

@@ -16,7 +16,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
 
@@ -30,19 +30,24 @@ main(int argc, char** argv)
 
     auto build = [&](const std::vector<std::string>& workloads,
                      std::uint32_t cores, const std::string& tag) {
-        std::vector<Row> rows;
-        for (const auto& w : workloads) {
-            Row r;
-            r.workload = w;
+        std::vector<Row> rows(workloads.size());
+        harness::Sweep sweep;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            rows[i].workload = workloads[i];
             for (const auto& pf : prefetchers) {
                 harness::ExperimentBuilder exp =
-                    bench::exp1c(w, pf, scale).cores(cores);
+                    bench::exp1c(workloads[i], pf, opt.sim_scale)
+                        .cores(cores);
                 if (cores > 1)
                     exp.scaleWindows(0.5);
-                r.speedup[pf] = exp.run(runner).metrics.speedup;
+                sweep.add(exp,
+                          [&rows, i,
+                           pf](const harness::Runner::Outcome& o) {
+                              rows[i].speedup[pf] = o.metrics.speedup;
+                          });
             }
-            rows.push_back(std::move(r));
         }
+        bench::runSweep(sweep, runner, opt);
         std::sort(rows.begin(), rows.end(),
                   [](const Row& a, const Row& b) {
                       return a.speedup.at("pythia") <

@@ -19,7 +19,7 @@ main(int argc, char** argv)
 {
     using namespace pythia;
     using rl::FeatureSpec;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     // One-feature vectors for every spec, plus two-feature combinations
     // of a representative subset (the full 32x32 sweep is the paper's
@@ -49,22 +49,33 @@ main(int argc, char** argv)
         double speedup, coverage, overpred;
     };
     std::vector<Row> rows;
+    harness::Sweep sweep;
     for (const auto& features : vectors) {
-        double cov = 0, over = 0;
-        std::vector<double> speedups;
+        struct Acc
+        {
+            double cov = 0, over = 0;
+            std::vector<double> speedups;
+        };
+        auto acc = std::make_shared<Acc>();
         auto cfg = rl::scaledForSimLength(
             rl::withFeatures(rl::basicPythiaConfig(), features));
-        for (const auto& w : workloads) {
-            const auto o =
-                bench::exp1c(w, "pythia", scale).l2Pythia(cfg).run(runner);
-            speedups.push_back(std::max(1e-6, o.metrics.speedup));
-            cov += o.metrics.coverage;
-            over += o.metrics.overprediction;
-        }
-        rows.push_back(Row{cfg.name, geomean(speedups),
-                           cov / workloads.size(),
-                           over / workloads.size()});
+        const std::string cfg_name = cfg.name;
+        for (const auto& w : workloads)
+            sweep.add(bench::exp1c(w, "pythia", opt.sim_scale)
+                          .l2Pythia(cfg),
+                      [acc](const harness::Runner::Outcome& o) {
+                          acc->speedups.push_back(
+                              std::max(1e-6, o.metrics.speedup));
+                          acc->cov += o.metrics.coverage;
+                          acc->over += o.metrics.overprediction;
+                      });
+        sweep.then([&rows, &workloads, acc, cfg_name] {
+            rows.push_back(Row{cfg_name, geomean(acc->speedups),
+                               acc->cov / workloads.size(),
+                               acc->over / workloads.size()});
+        });
     }
+    bench::runSweep(sweep, runner, opt);
     std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
         return a.speedup < b.speedup;
     });

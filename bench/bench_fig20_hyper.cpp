@@ -17,28 +17,34 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const auto& workloads = bench::representativeWorkloads();
     harness::Runner runner;
 
     // Each hyperparameter value rides a parameterized registry spec
     // ("pythia:alpha=0.01") — the whole sweep needs no config objects.
-    auto sweep = [&](const std::string& key,
-                     const std::vector<double>& values) {
+    auto sensitivity = [&](const std::string& key,
+                           const std::vector<double>& values) {
         Table table("Fig.20 — sensitivity to " + key);
         table.setHeader({key, "geomean_speedup"});
+        harness::Sweep sweep;
         for (double v : values) {
             char value[32];
             std::snprintf(value, sizeof value, "%g", v);
             const std::string spec = "pythia:" + key + "=" + value;
-            const double g =
-                bench::geomeanSpeedup(runner, workloads, spec, {}, scale);
-            table.addRow({Table::fmt(v, 6), Table::fmt(g)});
+            bench::addGeomeanSpeedup(
+                sweep, workloads, spec, {}, opt.sim_scale,
+                [&table, v](double g) {
+                    table.addRow({Table::fmt(v, 6), Table::fmt(g)});
+                });
         }
+        bench::runSweep(sweep, runner, opt);
         bench::finish(table, "fig20_" + key);
     };
 
-    sweep("epsilon", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 1.0});
-    sweep("alpha", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 1.0});
+    sensitivity("epsilon",
+                {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 1.0});
+    sensitivity("alpha",
+                {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 1.0});
     return 0;
 }

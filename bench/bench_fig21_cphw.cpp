@@ -12,14 +12,16 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     harness::Runner runner;
 
     for (std::uint32_t cores : {1u, 4u}) {
         Table table("Fig.21 — CP-HW vs Pythia (" +
                     std::to_string(cores) + "C)");
         table.setHeader({"suite", "cp_hw", "pythia"});
-        std::vector<double> g_cp, g_py;
+        auto g_cp = std::make_shared<std::vector<double>>();
+        auto g_py = std::make_shared<std::vector<double>>();
+        harness::Sweep sweep;
         for (const auto& suite : wl::suiteNames()) {
             std::vector<std::string> names;
             for (const auto* w : wl::suiteWorkloads(suite))
@@ -32,18 +34,23 @@ main(int argc, char** argv)
             // 4C: use the first two workloads per suite to bound cost.
             if (cores > 1 && names.size() > 2)
                 names.resize(2);
-            const double cp = bench::geomeanSpeedup(runner, names,
-                                                    "cp_hw", tweak,
-                                                    scale);
-            const double py = bench::geomeanSpeedup(runner, names,
-                                                    "pythia", tweak,
-                                                    scale);
-            g_cp.push_back(cp);
-            g_py.push_back(py);
-            table.addRow({suite, Table::fmt(cp), Table::fmt(py)});
+            auto cp = std::make_shared<double>(0.0);
+            auto py = std::make_shared<double>(0.0);
+            bench::addGeomeanSpeedup(sweep, names, "cp_hw", tweak,
+                                     opt.sim_scale,
+                                     [cp](double g) { *cp = g; });
+            bench::addGeomeanSpeedup(sweep, names, "pythia", tweak,
+                                     opt.sim_scale,
+                                     [py](double g) { *py = g; });
+            sweep.then([&table, g_cp, g_py, cp, py, suite] {
+                g_cp->push_back(*cp);
+                g_py->push_back(*py);
+                table.addRow({suite, Table::fmt(*cp), Table::fmt(*py)});
+            });
         }
-        table.addRow({"GEOMEAN", Table::fmt(geomean(g_cp)),
-                      Table::fmt(geomean(g_py))});
+        bench::runSweep(sweep, runner, opt);
+        table.addRow({"GEOMEAN", Table::fmt(geomean(*g_cp)),
+                      Table::fmt(geomean(*g_py))});
         bench::finish(table,
                       "fig21_cphw_" + std::to_string(cores) + "c");
     }

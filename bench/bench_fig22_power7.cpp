@@ -13,14 +13,16 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     harness::Runner runner;
 
     for (std::uint32_t cores : {1u, 4u}) {
         Table table("Fig.22 — POWER7-style vs Pythia (" +
                     std::to_string(cores) + "C)");
         table.setHeader({"suite", "power7", "pythia"});
-        std::vector<double> g_p7, g_py;
+        auto g_p7 = std::make_shared<std::vector<double>>();
+        auto g_py = std::make_shared<std::vector<double>>();
+        harness::Sweep sweep;
         for (const auto& suite : wl::suiteNames()) {
             std::vector<std::string> names;
             for (const auto* w : wl::suiteWorkloads(suite))
@@ -32,18 +34,23 @@ main(int argc, char** argv)
                 if (cores > 1)
                     e.scaleWindows(0.5);
             };
-            const double p7 = bench::geomeanSpeedup(runner, names,
-                                                    "power7", tweak,
-                                                    scale);
-            const double py = bench::geomeanSpeedup(runner, names,
-                                                    "pythia", tweak,
-                                                    scale);
-            g_p7.push_back(p7);
-            g_py.push_back(py);
-            table.addRow({suite, Table::fmt(p7), Table::fmt(py)});
+            auto p7 = std::make_shared<double>(0.0);
+            auto py = std::make_shared<double>(0.0);
+            bench::addGeomeanSpeedup(sweep, names, "power7", tweak,
+                                     opt.sim_scale,
+                                     [p7](double g) { *p7 = g; });
+            bench::addGeomeanSpeedup(sweep, names, "pythia", tweak,
+                                     opt.sim_scale,
+                                     [py](double g) { *py = g; });
+            sweep.then([&table, g_p7, g_py, p7, py, suite] {
+                g_p7->push_back(*p7);
+                g_py->push_back(*py);
+                table.addRow({suite, Table::fmt(*p7), Table::fmt(*py)});
+            });
         }
-        table.addRow({"GEOMEAN", Table::fmt(geomean(g_p7)),
-                      Table::fmt(geomean(g_py))});
+        bench::runSweep(sweep, runner, opt);
+        table.addRow({"GEOMEAN", Table::fmt(geomean(*g_p7)),
+                      Table::fmt(geomean(*g_py))});
         bench::finish(table,
                       "fig22_power7_" + std::to_string(cores) + "c");
     }

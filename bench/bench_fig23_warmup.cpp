@@ -12,7 +12,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const double scale = bench::simScale(argc, argv);
+    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint64_t> warmups = {0, 5'000, 15'000, 30'000,
                                                 60'000, 120'000};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
@@ -26,19 +26,21 @@ main(int argc, char** argv)
         header.push_back(pf);
     table.setHeader(header);
 
+    harness::Sweep sweep;
     for (std::uint64_t warmup : warmups) {
-        std::vector<std::string> row = {std::to_string(warmup)};
-        for (const auto& pf : prefetchers) {
-            const double g = bench::geomeanSpeedup(
-                runner, workloads, pf,
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{std::to_string(warmup)});
+        for (const auto& pf : prefetchers)
+            bench::addGeomeanSpeedup(
+                sweep, workloads, pf,
                 [warmup](harness::ExperimentBuilder& e) {
                     e.warmup(warmup);
                 },
-                scale);
-            row.push_back(Table::fmt(g));
-        }
-        table.addRow(row);
+                opt.sim_scale,
+                [row](double g) { row->push_back(Table::fmt(g)); });
+        sweep.then([&table, row] { table.addRow(*row); });
     }
+    bench::runSweep(sweep, runner, opt);
     bench::finish(table, "fig23_warmup");
     return 0;
 }

@@ -14,9 +14,12 @@
 #include "sim/prefetcher_registry.hpp"
 
 int
-main(int, char**)
+main(int argc, char** argv)
 {
     using namespace pythia;
+    // Structural accounting, no simulations: parse strictly so typos
+    // are rejected, even though sim_scale/jobs have nothing to scale.
+    (void)bench::parseBenchArgs(argc, argv);
 
     const auto cfg = rl::basicPythiaConfig();
     const auto storage = rl::computeStorage(cfg);

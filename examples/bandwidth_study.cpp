@@ -6,20 +6,35 @@
  * and compares basic Pythia, the bandwidth-oblivious ablation and an
  * aggressive spatial baseline (Bingo).
  *
- * Usage: bandwidth_study [workload=<name>]
+ * The 18-point grid is declared as a harness::Sweep and executed on a
+ * ParallelRunner worker pool; the callbacks replay in declaration
+ * order, so the table is identical for any jobs=<n>.
+ *
+ * Usage: bandwidth_study [workload=<name>] [jobs=<n>]
  */
 #include <iostream>
+#include <memory>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 
 int
 main(int argc, char** argv)
 {
     using namespace pythia;
     Config cli;
-    cli.parseArgs(argc, argv);
+    unsigned jobs = 0;
+    try {
+        cli.parseArgsStrict(argc, argv, {"workload", "jobs"});
+        const std::int64_t n = cli.getInt("jobs", 0);
+        if (n < 0)
+            throw std::invalid_argument("jobs must be >= 0 (0 = auto)");
+        jobs = static_cast<unsigned>(n);
+    } catch (const std::exception& e) {
+        std::cerr << "bandwidth_study: " << e.what() << "\n";
+        return 2;
+    }
     const std::string workload =
         cli.getString("workload", "Ligra-PageRank");
 
@@ -27,21 +42,28 @@ main(int argc, char** argv)
     Table table("Bandwidth study: " + workload);
     table.setHeader({"mtps", "bingo", "pythia", "pythia_bwobl",
                      "pythia_dram_util"});
+    harness::Sweep sweep;
     for (std::uint32_t mtps : {150u, 300u, 600u, 1200u, 2400u, 9600u}) {
-        std::vector<std::string> row = {std::to_string(mtps)};
-        double util = 0.0;
+        auto row = std::make_shared<std::vector<std::string>>(
+            std::vector<std::string>{std::to_string(mtps)});
+        auto util = std::make_shared<double>(0.0);
         for (const char* pf : {"bingo", "pythia", "pythia_bwobl"}) {
-            const auto o = harness::Experiment(workload)
-                               .l2(pf)
-                               .mtps(mtps)
-                               .run(runner);
-            row.push_back(Table::fmt(o.metrics.speedup));
-            if (std::string(pf) == "pythia")
-                util = o.run.dram_utilization;
+            const bool is_pythia = std::string(pf) == "pythia";
+            sweep.add(harness::Experiment(workload).l2(pf).mtps(mtps),
+                      [row, util,
+                       is_pythia](const harness::Runner::Outcome& o) {
+                          row->push_back(
+                              Table::fmt(o.metrics.speedup));
+                          if (is_pythia)
+                              *util = o.run.dram_utilization;
+                      });
         }
-        row.push_back(Table::pct(util));
-        table.addRow(row);
+        sweep.then([&table, row, util] {
+            row->push_back(Table::pct(*util));
+            table.addRow(*row);
+        });
     }
+    harness::ParallelRunner(jobs).run(runner, sweep);
     table.print();
     std::cout << "\nBasic Pythia throttles itself when the bus is scarce"
                  " (R_IN^H / R_NP^H rewards); the oblivious variant and"

@@ -1,6 +1,9 @@
 #include "common/config.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/spec.hpp"
 
 namespace pythia {
 
@@ -42,8 +45,13 @@ Config::getInt(const std::string& key, std::int64_t dflt) const
     if (it == kv_.end())
         return dflt;
     std::size_t pos = 0;
-    const std::int64_t v = std::stoll(it->second, &pos);
-    if (pos != it->second.size())
+    std::int64_t v = 0;
+    try {
+        v = std::stoll(it->second, &pos);
+    } catch (const std::exception&) {
+        pos = 0; // fall through to the descriptive error below
+    }
+    if (pos != it->second.size() || it->second.empty())
         throw std::invalid_argument("non-integer config value for " + key +
                                     ": " + it->second);
     return v;
@@ -56,8 +64,13 @@ Config::getDouble(const std::string& key, double dflt) const
     if (it == kv_.end())
         return dflt;
     std::size_t pos = 0;
-    const double v = std::stod(it->second, &pos);
-    if (pos != it->second.size())
+    double v = 0.0;
+    try {
+        v = std::stod(it->second, &pos);
+    } catch (const std::exception&) {
+        pos = 0; // fall through to the descriptive error below
+    }
+    if (pos != it->second.size() || it->second.empty())
         throw std::invalid_argument("non-numeric config value for " + key +
                                     ": " + it->second);
     return v;
@@ -92,6 +105,29 @@ Config::parseArgs(int argc, const char* const* argv)
         set(tok.substr(0, eq), tok.substr(eq + 1));
     }
     return ignored;
+}
+
+void
+Config::parseArgsStrict(int argc, const char* const* argv,
+                        const std::vector<std::string>& allowed)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::invalid_argument(
+                "malformed argument '" + tok +
+                "' (expected key=value; accepted keys: " +
+                joinKeys(allowed) + ")");
+        const std::string key = tok.substr(0, eq);
+        if (std::find(allowed.begin(), allowed.end(), key) ==
+            allowed.end())
+            throw std::invalid_argument(
+                "unknown argument '" + key + "'" +
+                didYouMean(key, allowed) +
+                " (accepted keys: " + joinKeys(allowed) + ")");
+        set(key, tok.substr(eq + 1));
+    }
 }
 
 std::vector<std::string>

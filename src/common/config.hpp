@@ -50,6 +50,16 @@ class Config
      */
     std::vector<std::string> parseArgs(int argc, const char* const* argv);
 
+    /**
+     * Parse "key=value" command-line tokens, accepting only keys listed
+     * in @p allowed. A malformed token or an unknown key (a typo like
+     * "sim_scal=2" would otherwise silently run the defaults) throws
+     * std::invalid_argument with a "did you mean" hint and the accepted
+     * key list.
+     */
+    void parseArgsStrict(int argc, const char* const* argv,
+                         const std::vector<std::string>& allowed);
+
     /** All keys, sorted (for dumping). */
     std::vector<std::string> keys() const;
 

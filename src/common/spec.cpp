@@ -128,4 +128,16 @@ didYouMean(const std::string& word,
     return best.empty() ? "" : "; did you mean '" + best + "'?";
 }
 
+std::string
+joinKeys(const std::vector<std::string>& keys, const std::string& empty)
+{
+    std::string out;
+    for (const auto& k : keys) {
+        if (!out.empty())
+            out += ", ";
+        out += k;
+    }
+    return out.empty() ? empty : out;
+}
+
 } // namespace pythia

@@ -52,4 +52,8 @@ std::string closestMatch(const std::string& word,
 std::string didYouMean(const std::string& word,
                        const std::vector<std::string>& candidates);
 
+/** Comma-join @p keys for error messages; @p empty when none exist. */
+std::string joinKeys(const std::vector<std::string>& keys,
+                     const std::string& empty = "(none)");
+
 } // namespace pythia

@@ -88,15 +88,26 @@ simulate(const ExperimentSpec& spec)
 }
 
 std::string
-Runner::baselineKey(const ExperimentSpec& spec) const
+Runner::baselineKey(const ExperimentSpec& spec)
 {
+    // Every field that changes the no-prefetching run participates; the
+    // prefetcher fields and pythia_cfg do not (the baseline resets
+    // them). Field separators are control characters that cannot occur
+    // in catalog names, and the mix is length-prefixed, so distinct
+    // specs can never collide on one key. A mix overrides the workload
+    // name in workloadsFor(), so a set mix also canonicalizes away the
+    // (ignored) workload field here.
     std::ostringstream key;
-    key << spec.workload << "|";
-    for (const auto& m : spec.mix)
-        key << m << ",";
-    key << "|" << spec.num_cores << "|" << spec.mtps << "|"
-        << spec.llc_bytes_per_core << "|" << spec.warmup_instrs << "|"
-        << spec.sim_instrs << "|" << spec.workload_seed;
+    if (spec.mix.empty()) {
+        key << "w:" << spec.workload;
+    } else {
+        key << "m:" << spec.mix.size();
+        for (const auto& m : spec.mix)
+            key << '\x1e' << m;
+    }
+    key << '\x1f' << spec.num_cores << '\x1f' << spec.mtps << '\x1f'
+        << spec.llc_bytes_per_core << '\x1f' << spec.warmup_instrs
+        << '\x1f' << spec.sim_instrs << '\x1f' << spec.workload_seed;
     return key.str();
 }
 
@@ -104,17 +115,40 @@ Runner::Outcome
 Runner::evaluate(const ExperimentSpec& spec)
 {
     const std::string key = baselineKey(spec);
-    auto it = baselines_.find(key);
-    if (it == baselines_.end()) {
-        ExperimentSpec base = spec;
-        base.prefetcher = "none";
-        base.l1_prefetcher = "none";
-        base.pythia_cfg.reset();
-        it = baselines_.emplace(key, simulate(base)).first;
+
+    // Per-key once-semantics: exactly one thread claims the key and
+    // simulates the baseline outside the lock; everyone else waits on
+    // the shared future. A failed baseline propagates its exception to
+    // every waiter (the spec is deterministic, so a retry would throw
+    // the same way).
+    std::shared_future<sim::RunResult> future;
+    std::promise<sim::RunResult> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = baselines_.find(key);
+        if (it == baselines_.end()) {
+            future = promise.get_future().share();
+            baselines_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            ExperimentSpec base = spec;
+            base.prefetcher = "none";
+            base.l1_prefetcher = "none";
+            base.pythia_cfg.reset();
+            promise.set_value(simulate(base));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
     }
 
     Outcome out;
-    out.baseline = it->second;
+    out.baseline = future.get();
     out.run = (spec.prefetcher == "none" && spec.l1_prefetcher == "none")
                   ? out.baseline
                   : simulate(spec);

@@ -12,8 +12,10 @@
  */
 #pragma once
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,6 +73,13 @@ sim::RunResult simulate(const ExperimentSpec& spec);
  * Runner with baseline caching: evaluate() returns the run, the matching
  * no-prefetching baseline (computed at most once per machine+workload
  * key) and the derived paper metrics.
+ *
+ * Thread-safe: any number of ParallelRunner workers may call evaluate()
+ * on one shared Runner. The cache holds a shared_future per baseline
+ * key; the first thread to need a key claims it under the lock and
+ * simulates outside it, while every other thread requesting the same
+ * key blocks on the future — each baseline is computed exactly once,
+ * never raced and never duplicated.
  */
 class Runner
 {
@@ -85,12 +94,23 @@ class Runner
     /** Evaluate @p spec against its cached no-prefetching baseline. */
     Outcome evaluate(const ExperimentSpec& spec);
 
-    /** Number of baseline simulations performed so far. */
-    std::size_t baselinesComputed() const { return baselines_.size(); }
+    /** Number of baseline simulations performed (or claimed) so far. */
+    std::size_t baselinesComputed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return baselines_.size();
+    }
+
+    /**
+     * Cache key of the no-prefetching baseline @p spec evaluates
+     * against: every ExperimentSpec field that can change the baseline
+     * run, unambiguously encoded. Exposed for regression tests.
+     */
+    static std::string baselineKey(const ExperimentSpec& spec);
 
   private:
-    std::string baselineKey(const ExperimentSpec& spec) const;
-    std::map<std::string, sim::RunResult> baselines_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<sim::RunResult>> baselines_;
 };
 
 } // namespace pythia::harness

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/spec.hpp"
@@ -111,6 +112,7 @@ PrefetcherRegistry::instance()
 void
 PrefetcherRegistry::add(PrefetcherEntry entry)
 {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     if (!entries_.emplace(entry.name, entry).second)
         throw std::logic_error("duplicate prefetcher registration: " +
                                entry.name);
@@ -119,11 +121,12 @@ PrefetcherRegistry::add(PrefetcherEntry entry)
 void
 PrefetcherRegistry::setComposer(Composer composer)
 {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     composer_ = std::move(composer);
 }
 
 std::vector<std::string>
-PrefetcherRegistry::names() const
+PrefetcherRegistry::namesLocked() const
 {
     std::vector<std::string> out;
     for (const auto& [name, entry] : entries_)
@@ -131,28 +134,26 @@ PrefetcherRegistry::names() const
     return out;
 }
 
+std::vector<std::string>
+PrefetcherRegistry::names() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return namesLocked();
+}
+
 const PrefetcherEntry*
-PrefetcherRegistry::find(const std::string& name) const
+PrefetcherRegistry::findLocked(const std::string& name) const
 {
     const auto it = entries_.find(name);
     return it == entries_.end() ? nullptr : &it->second;
 }
 
-namespace {
-
-std::string
-joinKeys(const std::vector<std::string>& keys)
+const PrefetcherEntry*
+PrefetcherRegistry::find(const std::string& name) const
 {
-    std::string out;
-    for (const auto& k : keys) {
-        if (!out.empty())
-            out += ", ";
-        out += k;
-    }
-    return out.empty() ? "(no parameters)" : out;
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return findLocked(name);
 }
-
-} // namespace
 
 std::unique_ptr<PrefetcherApi>
 PrefetcherRegistry::make(const std::string& spec) const
@@ -179,7 +180,7 @@ PrefetcherRegistry::make(const std::string& spec) const
             throw std::invalid_argument(
                 "unknown prefetcher '" + part.name + "'" +
                 didYouMean(part.name, names()) +
-                " (known: " + joinKeys(names()) + ")");
+                " (known: " + joinKeys(names(), "(none)") + ")");
         }
 
         std::map<std::string, std::string> kv;
@@ -192,7 +193,8 @@ PrefetcherRegistry::make(const std::string& spec) const
                 throw std::invalid_argument(
                     entry->name + ": unknown parameter '" + key + "'" +
                     didYouMean(key, entry->param_keys) + " (accepted: " +
-                    joinKeys(entry->param_keys) + ")");
+                    joinKeys(entry->param_keys, "(no parameters)") +
+                    ")");
             kv[key] = value;
         }
         built.push_back(
@@ -207,10 +209,19 @@ PrefetcherRegistry::make(const std::string& spec) const
 
     if (built.size() == 1)
         return std::move(built.front());
-    if (!composer_)
+    // Copy the hook under the lock, invoke it outside: stack-alias
+    // factories re-enter make(), so no lock may be held across any
+    // factory or composer call (find()/names() above lock internally
+    // and return pointers that stay valid — entries are never erased).
+    Composer composer;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        composer = composer_;
+    }
+    if (!composer)
         throw std::logic_error(
             "no composition hook installed for spec: " + spec);
-    return composer_(composite_name, std::move(built));
+    return composer(composite_name, std::move(built));
 }
 
 // ---------------------------------------------------------- entry points

@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,13 @@ struct PrefetcherEntry
  * composition hook (building one prefetcher out of several) is itself
  * installed by the composite prefetcher's translation unit, so this
  * layer never depends on any concrete prefetcher.
+ *
+ * Thread-safe: registration happens during static initialization
+ * (before main, single-threaded), but make()/names()/find() are called
+ * from sweep worker threads and take a shared lock, so late add() calls
+ * (e.g. a test registering a fixture prefetcher) cannot race them.
+ * Pointers returned by find() stay valid for the process lifetime —
+ * entries are never removed.
  */
 class PrefetcherRegistry
 {
@@ -126,6 +134,11 @@ class PrefetcherRegistry
   private:
     PrefetcherRegistry() = default;
 
+    /** Lock-free lookups for callers already holding @c mutex_. */
+    const PrefetcherEntry* findLocked(const std::string& name) const;
+    std::vector<std::string> namesLocked() const;
+
+    mutable std::shared_mutex mutex_;
     std::map<std::string, PrefetcherEntry> entries_;
     Composer composer_;
 };

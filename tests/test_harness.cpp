@@ -9,6 +9,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/metrics.hpp"
+#include "harness/sweep.hpp"
 #include "sim/prefetcher_registry.hpp"
 
 namespace pythia::harness {
@@ -97,6 +98,92 @@ TEST(Runner, BaselineCachedAcrossEvaluations)
     EXPECT_EQ(runner.baselinesComputed(), 2u);
 }
 
+TEST(Runner, BaselineKeyCoversEveryBaselineAffectingField)
+{
+    const ExperimentSpec base = quickSpec("470.lbm-164B", "stride");
+    auto changesKey = [&base](auto mutate) {
+        ExperimentSpec s = base;
+        mutate(s);
+        return Runner::baselineKey(s) != Runner::baselineKey(base);
+    };
+    // Each of these changes the no-prefetching run, so it must split
+    // the cache (a shared entry would silently skew every metric).
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) {
+        s.workload = "429.mcf-184B";
+    }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) {
+        s.workload_seed = 7;
+    }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) { s.mtps = 1200; }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) { s.num_cores = 2; }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) {
+        s.llc_bytes_per_core *= 2;
+    }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) {
+        s.warmup_instrs += 1;
+    }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) {
+        s.sim_instrs += 1;
+    }));
+    EXPECT_TRUE(changesKey([](ExperimentSpec& s) {
+        s.mix = {"470.lbm-164B"};
+    }));
+    // The prefetcher fields do not affect the baseline (it resets
+    // them), so they must NOT split the cache.
+    EXPECT_FALSE(changesKey([](ExperimentSpec& s) {
+        s.prefetcher = "spp";
+        s.l1_prefetcher = "stride";
+        s.pythia_cfg = rl::PythiaConfig{};
+    }));
+}
+
+TEST(Runner, BaselineKeyCanonicalizesWorkloadIgnoredByMix)
+{
+    // With a mix set, workloadsFor() ignores the workload name; the key
+    // must too, or equal machines would compute duplicate baselines.
+    ExperimentSpec a = quickSpec("470.lbm-164B", "stride");
+    ExperimentSpec b = quickSpec("429.mcf-184B", "stride");
+    a.num_cores = b.num_cores = 2;
+    a.mix = b.mix = {"470.lbm-164B", "429.mcf-184B"};
+    EXPECT_EQ(Runner::baselineKey(a), Runner::baselineKey(b));
+}
+
+TEST(Runner, BaselineKeyMixEncodingIsUnambiguous)
+{
+    // A single-entry mix must not collide with the same string as a
+    // plain workload, and joined mix entries must not collide with a
+    // differently-split mix of the same concatenation.
+    ExperimentSpec workload = quickSpec("470.lbm-164B", "none");
+    ExperimentSpec mix1 = quickSpec("x", "none");
+    mix1.mix = {"470.lbm-164B"};
+    EXPECT_NE(Runner::baselineKey(workload), Runner::baselineKey(mix1));
+
+    ExperimentSpec two = quickSpec("x", "none");
+    two.num_cores = 2;
+    two.mix = {"a", "b,c"};
+    ExperimentSpec other = quickSpec("x", "none");
+    other.num_cores = 2;
+    other.mix = {"a,b", "c"};
+    EXPECT_NE(Runner::baselineKey(two), Runner::baselineKey(other));
+}
+
+TEST(Runner, SeedDifferingSpecsDoNotShareCachedBaseline)
+{
+    // Regression: two specs differing only in workload_seed used to be
+    // distinguishable in the key, but this pins the end-to-end
+    // behaviour (distinct baselines actually simulated and cached).
+    Runner runner;
+    ExperimentSpec a = quickSpec("470.lbm-164B", "stride");
+    ExperimentSpec b = a;
+    b.workload_seed = 1234;
+    const auto oa = runner.evaluate(a);
+    const auto ob = runner.evaluate(b);
+    EXPECT_EQ(runner.baselinesComputed(), 2u);
+    // Different seeds generate different address streams, so the two
+    // baselines must not be the same run.
+    EXPECT_NE(oa.baseline.llc_read_misses, ob.baseline.llc_read_misses);
+}
+
 TEST(Runner, MixSizeMustMatchCores)
 {
     ExperimentSpec spec = quickSpec("x", "none");
@@ -178,26 +265,38 @@ TEST(EndToEnd, PythiaKeepsHighAccuracy)
 
 TEST(EndToEnd, MoreBandwidthNeverHurtsBaseline)
 {
-    auto ipc_at = [](std::uint32_t mtps) {
+    // Sweep-shaped: the three machine points run through the pool.
+    Runner runner;
+    Sweep sweep;
+    std::vector<double> ipc;
+    for (std::uint32_t mtps : {150u, 1200u, 9600u}) {
         ExperimentSpec spec = quickSpec("462.libquantum-1343B", "none");
         spec.mtps = mtps;
-        return simulate(spec).ipc_geomean;
-    };
-    const double slow = ipc_at(150);
-    const double mid = ipc_at(1200);
-    const double fast = ipc_at(9600);
-    EXPECT_LT(slow, mid);
-    EXPECT_LE(mid, fast * 1.02);
+        sweep.add(spec, [&ipc](const Runner::Outcome& o) {
+            ipc.push_back(o.run.ipc_geomean);
+        });
+    }
+    ParallelRunner(3).reportTo(nullptr).run(runner, sweep);
+    ASSERT_EQ(ipc.size(), 3u);
+    EXPECT_LT(ipc[0], ipc[1]);
+    EXPECT_LE(ipc[1], ipc[2] * 1.02);
 }
 
 TEST(EndToEnd, LargerLlcNeverHurtsSpatialWorkload)
 {
-    auto ipc_at = [](std::uint64_t bytes) {
+    Runner runner;
+    Sweep sweep;
+    std::vector<double> ipc;
+    for (std::uint64_t bytes : {256ull * 1024, 4ull << 20}) {
         ExperimentSpec spec = quickSpec("482.sphinx3-417B", "none");
         spec.llc_bytes_per_core = bytes;
-        return simulate(spec).ipc_geomean;
-    };
-    EXPECT_LE(ipc_at(256 * 1024), ipc_at(4ull << 20) * 1.05);
+        sweep.add(spec, [&ipc](const Runner::Outcome& o) {
+            ipc.push_back(o.run.ipc_geomean);
+        });
+    }
+    ParallelRunner(2).reportTo(nullptr).run(runner, sweep);
+    ASSERT_EQ(ipc.size(), 2u);
+    EXPECT_LE(ipc[0], ipc[1] * 1.05);
 }
 
 TEST(EndToEnd, MultiLevelStridePlusPythiaRuns)
