@@ -11,6 +11,11 @@
  * jobs=<n> to set the worker count (default: hardware concurrency).
  * Unknown or misspelled key=value arguments are rejected with a
  * "did you mean" hint.
+ *
+ * Perf tracking (DESIGN.md §7): --perf-out=<path> (or perf_out=<path>)
+ * makes the bench write a pythia-perf-v1 JSON artifact covering every
+ * sweep it ran; quiet=1 suppresses the per-sweep stderr throughput line
+ * so redirecting both streams yields clean CSV.
  */
 #pragma once
 
@@ -27,6 +32,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "harness/perf.hpp"
 #include "harness/sweep.hpp"
 #include "workloads/suites.hpp"
 
@@ -41,29 +47,60 @@ struct BenchOptions
 {
     double sim_scale = 1.0; ///< multiplies both simulation windows
     unsigned jobs = 0;      ///< worker threads; 0 = hardware concurrency
+    bool quiet = false;     ///< suppress the stderr throughput line
+    std::string perf_out;   ///< perf JSON path; empty = no artifact
     Config cli;             ///< full parse, for bench-specific keys
+    harness::PerfReport perf; ///< accumulated by runSweep()
 };
 
 /**
- * Parse the bench command line strictly: sim_scale=<f> and jobs=<n> are
- * always accepted, @p extra_keys adds bench-specific ones. Malformed
- * tokens and unknown keys terminate the bench with a hint (a typo like
+ * Parse the bench command line strictly: sim_scale=<f>, jobs=<n>,
+ * quiet=<0|1> and perf_out=<path> (alias --perf-out=<path>) are always
+ * accepted, @p extra_keys adds bench-specific ones. Malformed tokens
+ * and unknown keys terminate the bench with a hint (a typo like
  * "sim_scal=2" must not silently run the defaults).
  */
 inline BenchOptions
 parseBenchArgs(int argc, char** argv,
                const std::vector<std::string>& extra_keys = {})
 {
-    std::vector<std::string> allowed = {"sim_scale", "jobs"};
+    std::vector<std::string> allowed = {"sim_scale", "jobs", "quiet",
+                                        "perf_out"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     BenchOptions opt;
+    {
+        // Bench name for the perf artifact: basename of the binary.
+        std::string name = argc > 0 && argv[0] ? argv[0] : "bench";
+        const auto slash = name.find_last_of('/');
+        if (slash != std::string::npos)
+            name = name.substr(slash + 1);
+        opt.perf.setBench(name);
+    }
+    // Translate the --perf-out=<path> alias into perf_out=<path> so the
+    // strict parser sees only key=value tokens.
+    std::vector<std::string> tokens;
+    tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc : 1));
+    tokens.emplace_back(argc > 0 && argv[0] ? argv[0] : "bench");
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (tok.rfind("--perf-out=", 0) == 0)
+            tok = "perf_out=" + tok.substr(sizeof("--perf-out=") - 1);
+        tokens.push_back(std::move(tok));
+    }
+    std::vector<const char*> cargv;
+    cargv.reserve(tokens.size());
+    for (const auto& t : tokens)
+        cargv.push_back(t.c_str());
     try {
-        opt.cli.parseArgsStrict(argc, argv, allowed);
+        opt.cli.parseArgsStrict(static_cast<int>(cargv.size()),
+                                cargv.data(), allowed);
         opt.sim_scale = opt.cli.getDouble("sim_scale", 1.0);
         const std::int64_t jobs = opt.cli.getInt("jobs", 0);
         if (jobs < 0)
             throw std::invalid_argument("jobs must be >= 0 (0 = auto)");
         opt.jobs = static_cast<unsigned>(jobs);
+        opt.quiet = opt.cli.getBool("quiet", false);
+        opt.perf_out = opt.cli.getString("perf_out", "");
     } catch (const std::exception& e) {
         std::cerr << (argc > 0 ? argv[0] : "bench") << ": " << e.what()
                   << "\n";
@@ -72,13 +109,26 @@ parseBenchArgs(int argc, char** argv,
     return opt;
 }
 
-/** Execute @p sweep on @p opt.jobs workers (replaying callbacks in
- *  declaration order) and return the outcomes in job order. */
+/**
+ * Execute @p sweep on @p opt.jobs workers (replaying callbacks in
+ * declaration order) and return the outcomes in job order. Folds the
+ * sweep's timing into @p opt.perf and, when perf_out is set, rewrites
+ * the JSON artifact after every sweep so the last write of a
+ * multi-sweep bench always holds the complete picture.
+ */
 inline std::vector<harness::Runner::Outcome>
 runSweep(harness::Sweep& sweep, harness::Runner& runner,
-         const BenchOptions& opt)
+         BenchOptions& opt)
 {
-    return harness::ParallelRunner(opt.jobs).run(runner, sweep);
+    harness::ParallelRunner pool(opt.jobs);
+    if (opt.quiet)
+        pool.reportTo(nullptr);
+    auto outcomes = pool.run(runner, sweep);
+    opt.perf.setJobs(pool.jobs());
+    opt.perf.addSweep(pool.lastReport());
+    if (!opt.perf_out.empty() && !opt.perf.writeTo(opt.perf_out))
+        std::cerr << "[perf] cannot write " << opt.perf_out << "\n";
+    return outcomes;
 }
 
 /** Single-core experiment with the bench-standard windows; @p pf is a

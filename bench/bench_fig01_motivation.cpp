@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     const std::vector<std::string> workloads = {
         "482.sphinx3-417B", "PARSEC-Canneal",  "PARSEC-Facesim",

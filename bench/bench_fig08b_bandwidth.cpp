@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint32_t> mtps_points = {150, 300,  600, 1200,
                                                     2400, 4800, 9600};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",

@@ -11,7 +11,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint64_t> llc_sizes = {
         256ull << 10, 512ull << 10, 1ull << 20, 2ull << 20, 4ull << 20};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",

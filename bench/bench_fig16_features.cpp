@@ -18,7 +18,7 @@ main(int argc, char** argv)
     using rl::ControlKind;
     using rl::DataKind;
     using rl::FeatureSpec;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     // Candidate state vectors (a cross-section of the 32-feature space).
     const std::vector<std::vector<FeatureSpec>> candidates = {

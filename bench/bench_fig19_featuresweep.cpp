@@ -19,7 +19,7 @@ main(int argc, char** argv)
 {
     using namespace pythia;
     using rl::FeatureSpec;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
 
     // One-feature vectors for every spec, plus two-feature combinations
     // of a representative subset (the full 32x32 sweep is the paper's

@@ -17,7 +17,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const auto& workloads = bench::representativeWorkloads();
     harness::Runner runner;
 

@@ -13,7 +13,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     harness::Runner runner;
 
     for (std::uint32_t cores : {1u, 4u}) {

@@ -12,7 +12,7 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    const bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
     const std::vector<std::uint64_t> warmups = {0, 5'000, 15'000, 30'000,
                                                 60'000, 120'000};
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",

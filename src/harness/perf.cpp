@@ -1,0 +1,131 @@
+#include "harness/perf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace pythia::harness {
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    p = std::min(100.0, std::max(0.0, p));
+    // Nearest-rank: smallest index whose rank covers p percent.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    return samples[rank == 0 ? 0 : rank - 1];
+}
+
+void
+PerfReport::addSweep(const SweepReport& report)
+{
+    SweepPerf s;
+    s.experiments = report.experiments;
+    s.jobs = report.jobs;
+    s.seconds = report.seconds;
+    s.sims_per_sec = report.experimentsPerSecond();
+    s.job_p50_s = percentile(report.job_seconds, 50.0);
+    s.job_p95_s = percentile(report.job_seconds, 95.0);
+    sweeps_.push_back(s);
+}
+
+std::size_t
+PerfReport::totalExperiments() const
+{
+    std::size_t n = 0;
+    for (const auto& s : sweeps_)
+        n += s.experiments;
+    return n;
+}
+
+double
+PerfReport::totalSeconds() const
+{
+    double t = 0.0;
+    for (const auto& s : sweeps_)
+        t += s.seconds;
+    return t;
+}
+
+double
+PerfReport::totalSimsPerSecond() const
+{
+    const double t = totalSeconds();
+    return t > 0.0 ? static_cast<double>(totalExperiments()) / t : 0.0;
+}
+
+namespace {
+
+/// JSON-safe number: finite values as shortest round-trip decimal.
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+/// Minimal string escape (bench names are plain identifiers, but a
+/// path-derived name could carry quotes or backslashes).
+std::string
+esc(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+PerfReport::toJson() const
+{
+    std::string json;
+    json += "{\n";
+    json += "  \"schema\": \"pythia-perf-v1\",\n";
+    json += "  \"bench\": \"" + esc(bench_) + "\",\n";
+    json += "  \"jobs\": " + std::to_string(jobs_) + ",\n";
+    json += "  \"sweeps\": [";
+    for (std::size_t i = 0; i < sweeps_.size(); ++i) {
+        const SweepPerf& s = sweeps_[i];
+        json += (i == 0 ? "\n" : ",\n");
+        json += "    {\"experiments\": " + std::to_string(s.experiments) +
+                ", \"jobs\": " + std::to_string(s.jobs) +
+                ", \"seconds\": " + num(s.seconds) +
+                ", \"sims_per_sec\": " + num(s.sims_per_sec) +
+                ", \"job_p50_s\": " + num(s.job_p50_s) +
+                ", \"job_p95_s\": " + num(s.job_p95_s) + "}";
+    }
+    json += sweeps_.empty() ? "],\n" : "\n  ],\n";
+    json += "  \"total\": {\"experiments\": " +
+            std::to_string(totalExperiments()) +
+            ", \"seconds\": " + num(totalSeconds()) +
+            ", \"sims_per_sec\": " + num(totalSimsPerSecond()) + "}\n";
+    json += "}\n";
+    return json;
+}
+
+bool
+PerfReport::writeTo(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace pythia::harness

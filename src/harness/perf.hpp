@@ -1,0 +1,104 @@
+/**
+ * @file
+ * PerfReport — machine-readable performance accounting for benches.
+ *
+ * Every bench binary can be asked (via --perf-out=<path> or
+ * perf_out=<path>) to write a BENCH_<name>.json artifact describing how
+ * fast its sweeps executed: wall time, worker count, simulations per
+ * second and the p50/p95 of per-job wall times. The artifact is the
+ * per-PR perf trajectory the ROADMAP asks for: comparing the same
+ * bench's JSON across commits shows whether the simulator core got
+ * faster or slower.
+ *
+ * Schema ("pythia-perf-v1", documented in DESIGN.md §7):
+ *
+ *     {
+ *       "schema": "pythia-perf-v1",
+ *       "bench": "bench_fig01_motivation",
+ *       "jobs": 4,
+ *       "sweeps": [
+ *         {"experiments": 18, "jobs": 4, "seconds": 1.234,
+ *          "sims_per_sec": 14.58, "job_p50_s": 0.041,
+ *          "job_p95_s": 0.102}
+ *       ],
+ *       "total": {"experiments": 18, "seconds": 1.234,
+ *                 "sims_per_sec": 14.58}
+ *     }
+ *
+ * "Simulation" counts sweep jobs (each job is one measured simulation;
+ * the no-prefetching baselines Runner computes on demand are part of
+ * the wall time but amortized by its cache).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace pythia::harness {
+
+/**
+ * Nearest-rank percentile of @p samples (p in [0,100]); 0 when empty.
+ * Takes a copy because it must sort.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** Accumulated perf accounting of one bench process (all its sweeps). */
+class PerfReport
+{
+  public:
+    /** One executed sweep's timing summary. */
+    struct SweepPerf
+    {
+        std::size_t experiments = 0; ///< jobs (simulations) executed
+        unsigned jobs = 1;           ///< workers that actually ran (the
+                                     ///< pool caps at the job count)
+        double seconds = 0.0;        ///< wall-clock of the parallel phase
+        double sims_per_sec = 0.0;   ///< experiments / seconds
+        double job_p50_s = 0.0;      ///< median per-job wall time
+        double job_p95_s = 0.0;      ///< p95 per-job wall time
+    };
+
+    /** @param bench Bench name stamped into the JSON ("bench" field). */
+    explicit PerfReport(std::string bench = "") : bench_(std::move(bench))
+    {
+    }
+
+    const std::string& bench() const { return bench_; }
+    void setBench(std::string bench) { bench_ = std::move(bench); }
+
+    /** Configured pool size, stamped into the JSON's top-level "jobs"
+     *  field (individual sweeps record the capped count they ran on). */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
+    unsigned jobs() const { return jobs_; }
+
+    /** Fold one executed sweep's report into the accumulated totals. */
+    void addSweep(const SweepReport& report);
+
+    const std::vector<SweepPerf>& sweeps() const { return sweeps_; }
+
+    std::size_t totalExperiments() const;
+    double totalSeconds() const;
+
+    /** Aggregate throughput over every sweep; 0 when nothing ran. */
+    double totalSimsPerSecond() const;
+
+    /** Render the pythia-perf-v1 JSON document. */
+    std::string toJson() const;
+
+    /**
+     * Write toJson() to @p path (truncating). Safe to call after every
+     * sweep: the last write always holds the complete picture.
+     * @return false on I/O failure.
+     */
+    bool writeTo(const std::string& path) const;
+
+  private:
+    std::string bench_;
+    unsigned jobs_ = 0;
+    std::vector<SweepPerf> sweeps_;
+};
+
+} // namespace pythia::harness

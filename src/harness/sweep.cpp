@@ -81,11 +81,21 @@ ParallelRunner::run(Runner& runner, const Sweep& sweep)
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, n == 0 ? 1 : n));
 
+    // Per-job wall times; each slot is written by exactly one worker.
+    std::vector<double> job_seconds(n, 0.0);
+    const auto timed_evaluate = [&](std::size_t i) {
+        const auto js = std::chrono::steady_clock::now();
+        results[i] = runner.evaluate(sweep.specs_[i]);
+        job_seconds[i] = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - js)
+                             .count();
+    };
+
     const auto t0 = std::chrono::steady_clock::now();
     if (workers <= 1) {
         // Inline reference path: also the order the pool must match.
         for (std::size_t i = 0; i < n; ++i)
-            results[i] = runner.evaluate(sweep.specs_[i]);
+            timed_evaluate(i);
     } else {
         std::atomic<std::size_t> next{0};
         std::atomic<bool> failed{false};
@@ -102,7 +112,7 @@ ParallelRunner::run(Runner& runner, const Sweep& sweep)
                 if (i >= n)
                     return;
                 try {
-                    results[i] = runner.evaluate(sweep.specs_[i]);
+                    timed_evaluate(i);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(error_mutex);
                     if (i < error_job) {
@@ -129,6 +139,7 @@ ParallelRunner::run(Runner& runner, const Sweep& sweep)
     report_.experiments = n;
     report_.jobs = workers;
     report_.seconds = elapsed.count();
+    report_.job_seconds = std::move(job_seconds);
     if (report_os_ && n > 0) {
         char line[128];
         std::snprintf(line, sizeof line,

@@ -118,6 +118,10 @@ struct SweepReport
     std::size_t experiments = 0; ///< jobs executed
     unsigned jobs = 1;           ///< worker threads used
     double seconds = 0.0;        ///< wall-clock of the parallel phase
+    /** Per-job wall time, indexed by JobId (evaluate() call only, not
+     *  queueing) — the raw samples behind the p50/p95 a PerfReport
+     *  publishes. */
+    std::vector<double> job_seconds;
 
     /** Throughput; 0 when nothing ran. */
     double experimentsPerSecond() const

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property tests for prefetcher spec strings (ctest label: property).
+ *
+ * For every prefetcher in the registry: the bare name constructs, a
+ * spec exercising every declared parameter key constructs, and the
+ * parse → render → parse round trip is the identity (so a spec printed
+ * into a log or CSV can be pasted back and means the same run).
+ * Malformed specs must throw with a "did you mean" hint — a typo must
+ * never silently run the defaults.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/spec.hpp"
+#include "sim/prefetcher_registry.hpp"
+
+namespace {
+
+using namespace pythia;
+
+/** Render a parsed spec list back into the canonical string form. */
+std::string
+render(const std::vector<ParsedSpec>& parts)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += '+';
+        out += parts[i].name;
+        for (std::size_t k = 0; k < parts[i].params.size(); ++k) {
+            out += (k == 0 ? ':' : ',');
+            out += parts[i].params[k].first;
+            out += '=';
+            out += parts[i].params[k].second;
+        }
+    }
+    return out;
+}
+
+/** Spec naming @p name and setting every declared key (value "2" parses
+ *  as int, unsigned and double alike — every registered key is numeric). */
+std::string
+fullParamSpec(const sim::PrefetcherEntry& entry)
+{
+    std::string spec = entry.name;
+    for (std::size_t i = 0; i < entry.param_keys.size(); ++i) {
+        spec += (i == 0 ? ':' : ',');
+        spec += entry.param_keys[i];
+        spec += "=2";
+    }
+    return spec;
+}
+
+TEST(SpecRoundTrip, EveryRegisteredNameConstructs)
+{
+    const auto names = sim::prefetcherNames();
+    ASSERT_FALSE(names.empty());
+    for (const auto& name : names) {
+        const auto pf = sim::makePrefetcher(name);
+        ASSERT_NE(pf, nullptr) << name;
+    }
+}
+
+TEST(SpecRoundTrip, EveryDeclaredParameterKeyIsAccepted)
+{
+    for (const auto& name : sim::prefetcherNames()) {
+        const sim::PrefetcherEntry* entry =
+            sim::PrefetcherRegistry::instance().find(name);
+        ASSERT_NE(entry, nullptr) << name;
+        const std::string spec = fullParamSpec(*entry);
+        EXPECT_NE(sim::makePrefetcher(spec), nullptr) << spec;
+    }
+}
+
+TEST(SpecRoundTrip, ParseRenderParseIsIdentity)
+{
+    std::vector<std::string> corpus;
+    for (const auto& name : sim::prefetcherNames()) {
+        const sim::PrefetcherEntry* entry =
+            sim::PrefetcherRegistry::instance().find(name);
+        ASSERT_NE(entry, nullptr) << name;
+        corpus.push_back(name);
+        if (!entry->param_keys.empty()) {
+            corpus.push_back(fullParamSpec(*entry));
+            // One single-key spec per prefetcher, too.
+            corpus.push_back(name + ":" + entry->param_keys.front() +
+                             "=2");
+        }
+    }
+    corpus.push_back("stride+spp+bingo");
+    corpus.push_back("stride:degree=2+spp");
+
+    for (const auto& spec : corpus) {
+        const auto once = parseSpecList(spec);
+        const std::string rendered = render(once);
+        const auto twice = parseSpecList(rendered);
+        ASSERT_EQ(once.size(), twice.size()) << spec;
+        for (std::size_t i = 0; i < once.size(); ++i) {
+            EXPECT_EQ(once[i].name, twice[i].name) << spec;
+            EXPECT_EQ(once[i].params, twice[i].params) << spec;
+        }
+        // The rendered form is constructible whenever the original was.
+        EXPECT_NE(sim::makePrefetcher(rendered), nullptr) << rendered;
+    }
+}
+
+/** Extract the message a spec fails with; "" when it does not throw. */
+std::string
+errorOf(const std::string& spec)
+{
+    try {
+        (void)sim::makePrefetcher(spec);
+    } catch (const std::invalid_argument& e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(SpecRoundTrip, MisspelledNameGetsDidYouMeanNeverDefaults)
+{
+    const std::string err = errorOf("sppp");
+    ASSERT_FALSE(err.empty()) << "typo constructed a prefetcher";
+    EXPECT_NE(err.find("did you mean"), std::string::npos) << err;
+    EXPECT_NE(err.find("spp"), std::string::npos) << err;
+}
+
+TEST(SpecRoundTrip, MisspelledParameterGetsDidYouMeanNeverDefaults)
+{
+    for (const auto& name : sim::prefetcherNames()) {
+        const sim::PrefetcherEntry* entry =
+            sim::PrefetcherRegistry::instance().find(name);
+        ASSERT_NE(entry, nullptr) << name;
+        if (entry->param_keys.empty())
+            continue;
+        // Append a character: close enough for the hint, still unknown.
+        const std::string key = entry->param_keys.front() + "x";
+        const std::string err = errorOf(name + ":" + key + "=2");
+        ASSERT_FALSE(err.empty())
+            << name << ": unknown key '" << key << "' was accepted";
+        EXPECT_NE(err.find("unknown parameter"), std::string::npos)
+            << err;
+        EXPECT_NE(err.find("did you mean"), std::string::npos) << err;
+    }
+}
+
+TEST(SpecRoundTrip, StructurallyMalformedSpecsThrow)
+{
+    for (const char* bad :
+         {"spp:", "spp:=4", "spp:foo", "spp:foo=", "+spp", "spp+",
+          "none:x=1", "spp++bingo"}) {
+        EXPECT_THROW((void)sim::makePrefetcher(bad),
+                     std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(SpecRoundTrip, IllTypedValueNamesOwnerAndKey)
+{
+    const std::string err = errorOf("spp:max_lookahead=banana");
+    ASSERT_FALSE(err.empty());
+    EXPECT_NE(err.find("spp"), std::string::npos) << err;
+    EXPECT_NE(err.find("max_lookahead"), std::string::npos) << err;
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Edge-case tests for binary trace I/O (ctest label: property):
+ * empty traces, truncated files, bad headers, loop-boundary replay in
+ * FileWorkload, and write → read round-trip equality of TraceRecord
+ * streams.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace pythia;
+namespace fs = std::filesystem;
+
+/** Unique-per-test scratch path in the working directory, removed on
+ *  destruction. */
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const std::string& tag)
+        : path_("trace_io_test_" + tag + ".bin")
+    {
+        std::error_code ec;
+        fs::remove(path_, ec);
+    }
+    ~ScratchFile()
+    {
+        std::error_code ec;
+        fs::remove(path_, ec);
+    }
+    const std::string& str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::vector<wl::TraceRecord>
+sampleRecords(std::size_t n)
+{
+    std::vector<wl::TraceRecord> recs;
+    recs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        wl::TraceRecord r;
+        r.pc = 0x400000 + i * 4;
+        r.addr = 0x10000 + i * 64;
+        r.gap = static_cast<std::uint32_t>(i % 7);
+        r.is_write = (i % 3) == 0;
+        r.depends_on_prev = (i % 5) == 0;
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+bool
+sameRecord(const wl::TraceRecord& a, const wl::TraceRecord& b)
+{
+    return a.pc == b.pc && a.addr == b.addr && a.gap == b.gap &&
+           a.is_write == b.is_write &&
+           a.depends_on_prev == b.depends_on_prev;
+}
+
+TEST(TraceIo, EmptyTraceFileIsRejected)
+{
+    ScratchFile f("empty");
+    wl::FileWorkload src("src", sampleRecords(4));
+    ASSERT_TRUE(wl::writeTraceFile(f.str(), src, 0));
+    EXPECT_THROW(wl::FileWorkload{f.str()}, std::runtime_error);
+}
+
+TEST(TraceIo, EmptyInMemoryTraceIsRejected)
+{
+    EXPECT_THROW(wl::FileWorkload("empty", {}), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileIsRejected)
+{
+    EXPECT_THROW(wl::FileWorkload{"does_not_exist_12345.bin"},
+                 std::runtime_error);
+}
+
+TEST(TraceIo, BadHeaderIsRejected)
+{
+    ScratchFile f("badmagic");
+    {
+        std::ofstream out(f.str(), std::ios::binary);
+        const char junk[32] = "this is not a pythia trace";
+        out.write(junk, sizeof junk);
+    }
+    EXPECT_THROW(wl::FileWorkload{f.str()}, std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedFileIsRejected)
+{
+    ScratchFile f("trunc");
+    wl::FileWorkload src("src", sampleRecords(10));
+    ASSERT_TRUE(wl::writeTraceFile(f.str(), src, 10));
+
+    // Chop mid-record: the reader must throw, not hand back garbage.
+    const auto full = fs::file_size(f.str());
+    fs::resize_file(f.str(), full - 13);
+    EXPECT_THROW(wl::FileWorkload{f.str()}, std::runtime_error);
+
+    // A header announcing more records than the file holds, too.
+    fs::resize_file(f.str(), 12); // magic + count only
+    EXPECT_THROW(wl::FileWorkload{f.str()}, std::runtime_error);
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    ScratchFile f("roundtrip");
+    const auto recs = sampleRecords(23);
+    wl::FileWorkload src("src", recs);
+    ASSERT_TRUE(wl::writeTraceFile(f.str(), src, recs.size()));
+
+    wl::FileWorkload loaded(f.str());
+    ASSERT_EQ(loaded.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const wl::TraceRecord got = loaded.next();
+        EXPECT_TRUE(sameRecord(got, recs[i])) << "record " << i;
+    }
+}
+
+TEST(TraceIo, WriterLoopsTheSourceAtItsBoundary)
+{
+    ScratchFile f("loopwrite");
+    const auto recs = sampleRecords(5);
+    wl::FileWorkload src("src", recs);
+    // Ask for more records than the source holds: next() wraps, so the
+    // file carries two full laps plus two records.
+    ASSERT_TRUE(wl::writeTraceFile(f.str(), src, 12));
+
+    wl::FileWorkload loaded(f.str());
+    ASSERT_EQ(loaded.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i) {
+        const wl::TraceRecord got = loaded.next();
+        EXPECT_TRUE(sameRecord(got, recs[i % recs.size()]))
+            << "record " << i;
+    }
+}
+
+TEST(TraceIo, ReplayWrapsAndResetsAtTheLoopBoundary)
+{
+    const auto recs = sampleRecords(3);
+    wl::FileWorkload w("loop", recs);
+
+    // Two full laps: position wraps exactly at size().
+    for (std::size_t i = 0; i < 2 * recs.size(); ++i) {
+        EXPECT_TRUE(sameRecord(w.next(), recs[i % recs.size()]))
+            << "step " << i;
+    }
+    // Mid-stream reset rewinds to record 0.
+    (void)w.next();
+    w.reset();
+    EXPECT_TRUE(sameRecord(w.next(), recs[0]));
+
+    // A clone starts from the beginning and replays identically.
+    auto c = w.clone(0);
+    c->reset();
+    for (std::size_t i = 0; i < recs.size(); ++i)
+        EXPECT_TRUE(sameRecord(c->next(), recs[i % recs.size()]));
+}
+
+} // namespace
