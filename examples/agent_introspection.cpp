@@ -48,8 +48,12 @@ main(int argc, char** argv)
 
     Table stats("Agent statistics");
     stats.setHeader({"counter", "value"});
-    for (const auto& [k, v] : agent_ptr->agentStats().counters())
-        stats.addRow({k, std::to_string(v)});
+    for (const auto& [k, v] : agent_ptr->agentStats().counters()) {
+        // Counters are pre-registered at construction now; zero rows
+        // are just "this never happened" and would drown the table.
+        if (v != 0)
+            stats.addRow({k, std::to_string(v)});
+    }
     stats.print();
 
     // Q-values of the last observed state, per action.

@@ -38,11 +38,13 @@ constexpr std::uint32_t
 foldedXor(std::uint64_t value, unsigned bits)
 {
     const std::uint64_t mask = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+    // Fixed trip count (ceil(64/bits) chunks) instead of shifting until
+    // the value drains: same chunks, same result, but the loop bound no
+    // longer depends on the (well-mixed, hence unpredictable) value
+    // being folded, so the branch predictor sees a constant pattern.
     std::uint64_t folded = 0;
-    while (value != 0) {
-        folded ^= value & mask;
-        value >>= bits;
-    }
+    for (unsigned shift = 0; shift < 64; shift += bits)
+        folded ^= (value >> shift) & mask;
     return static_cast<std::uint32_t>(folded);
 }
 

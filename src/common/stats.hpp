@@ -30,6 +30,18 @@ class StatGroup
     /** Add @p delta to the counter called @p key. */
     void inc(const std::string& key, std::uint64_t delta = 1);
 
+    /**
+     * Stable pointer to the counter called @p key, created at zero if
+     * absent. Hot paths resolve their counters once at construction and
+     * bump through the pointer, skipping the per-event string hash/map
+     * walk; the pointer stays valid for the group's lifetime (std::map
+     * nodes never move) and reset() zeroes the value in place.
+     */
+    std::uint64_t* counterSlot(const std::string& key)
+    {
+        return &counters_[key];
+    }
+
     /** Set the floating-point value called @p key. */
     void set(const std::string& key, double value);
 

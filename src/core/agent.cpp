@@ -30,6 +30,29 @@ PythiaPrefetcher::PythiaPrefetcher(const PythiaConfig& cfg)
 {
     assert(!cfg_.features.empty());
     assert(!cfg_.actions.empty());
+
+    action_slots_.reserve(cfg_.actions.size());
+    for (const std::int32_t offset : cfg_.actions) {
+        const std::string o = std::to_string(offset);
+        action_slots_.push_back(
+            {stats_.counterSlot("sel_offset_" + o),
+             stats_.counterSlot("off_at_" + o),
+             stats_.counterSlot("off_al_" + o),
+             stats_.counterSlot("off_in_" + o)});
+    }
+    c_reward_inaccurate_ = stats_.counterSlot("reward_inaccurate");
+    c_reward_accurate_timely_ =
+        stats_.counterSlot("reward_accurate_timely");
+    c_reward_accurate_late_ = stats_.counterSlot("reward_accurate_late");
+    c_sarsa_updates_ = stats_.counterSlot("sarsa_updates");
+    c_explored_actions_ = stats_.counterSlot("explored_actions");
+    c_actions_taken_ = stats_.counterSlot("actions_taken");
+    c_action_no_prefetch_ = stats_.counterSlot("action_no_prefetch");
+    c_action_out_of_page_ = stats_.counterSlot("action_out_of_page");
+    c_action_prefetch_ = stats_.counterSlot("action_prefetch");
+
+    state_scratch_.reserve(cfg_.features.size());
+    actions_scratch_.reserve(cfg_.degree);
 }
 
 std::size_t
@@ -60,15 +83,15 @@ PythiaPrefetcher::retireEntry(EqEntry&& entry)
         // Never demanded during EQ residency: inaccurate (Alg. 1 line 25).
         entry.reward = inaccurateReward();
         entry.has_reward = true;
-        stats_.inc("reward_inaccurate");
-        stats_.inc("off_in_" + std::to_string(cfg_.actions[entry.action]));
+        ++*c_reward_inaccurate_;
+        ++*action_slots_[entry.action].inaccurate;
     }
     if (eq_.empty())
         return;
     const EqEntry& next = eq_.head();
     qv_.update(entry.state, entry.action, entry.reward, next.state,
                next.action);
-    stats_.inc("sarsa_updates");
+    ++*c_sarsa_updates_;
 }
 
 void
@@ -77,27 +100,29 @@ PythiaPrefetcher::train(const sim::PrefetchAccess& access,
 {
     // (1) Reward every matching in-flight action: R_AT when the demand
     // came after the prefetch fill, R_AL otherwise (Alg. 1 lines 6-11).
-    for (EqEntry* hit : eq_.searchAll(access.block)) {
-        const bool filled = hit->fill_known &&
-                            hit->fill_time <= access.cycle;
-        hit->reward = filled ? cfg_.rewards.r_at : cfg_.rewards.r_al;
-        hit->has_reward = true;
-        stats_.inc(filled ? "reward_accurate_timely"
-                          : "reward_accurate_late");
-        stats_.inc((filled ? "off_at_" : "off_al_") +
-                   std::to_string(cfg_.actions[hit->action]));
-    }
+    // rewardAll marks the entries rewarded and keeps the EQ's
+    // pending-block index exact; most demands match nothing and return
+    // after one hash probe instead of a 256-entry scan.
+    eq_.rewardAll(access.block, [&](EqEntry& hit) {
+        const bool filled = hit.fill_known &&
+                            hit.fill_time <= access.cycle;
+        hit.reward = filled ? cfg_.rewards.r_at : cfg_.rewards.r_al;
+        ++*(filled ? c_reward_accurate_timely_
+                   : c_reward_accurate_late_);
+        ++*(filled ? action_slots_[hit.action].accurate_timely
+                   : action_slots_[hit.action].accurate_late);
+    });
 
     // (2) Extract the state vector (Alg. 1 line 12).
     extractor_.observe(access.pc, access.block);
-    std::vector<std::uint64_t> state =
-        extractor_.extractAll(cfg_.features);
+    extractor_.extractAllInto(cfg_.features, state_scratch_);
+    std::vector<std::uint64_t>& state = state_scratch_;
 
     // (3) Epsilon-greedy action selection (Alg. 1 lines 13-16). With the
     // multi-action degree extension, the top-k actions are taken; an
     // exploration draw replaces the primary action with a random one.
-    std::vector<std::uint32_t> actions =
-        qv_.topActions(state, cfg_.degree);
+    qv_.topActionsInto(state, cfg_.degree, actions_scratch_);
+    std::vector<std::uint32_t>& actions = actions_scratch_;
     // Secondary actions only issue while their Q-value beats the
     // no-prefetch action's Q: the agent's own estimate says they are
     // net-beneficial. This keeps the extension conservative on patterns
@@ -107,40 +132,46 @@ PythiaPrefetcher::train(const sim::PrefetchAccess& access,
         // Secondary actions must also clear the accurate-but-late return
         // floor: a learned-useful action sits near R_AL/(1-gamma), while
         // aliased or decayed rows drift below it.
+        // topActionsInto just hashed this state's rows; probe the extra
+        // actions without re-hashing (identical to qv_.q(state, a)).
         double floor = cfg_.rewards.r_al;
         if (np != static_cast<std::size_t>(-1))
             floor = std::max(
-                floor, qv_.q(state, static_cast<std::uint32_t>(np)));
+                floor, qv_.qAtLastState(static_cast<std::uint32_t>(np)));
         std::size_t keep = 1;
         while (keep < actions.size() &&
-               qv_.q(state, actions[keep]) > floor)
+               qv_.qAtLastState(actions[keep]) > floor)
             ++keep;
         actions.resize(keep);
     }
     if (rng_.nextBool(cfg_.epsilon)) {
         actions[0] = static_cast<std::uint32_t>(
             rng_.nextBounded(cfg_.actions.size()));
-        stats_.inc("explored_actions");
+        ++*c_explored_actions_;
     }
 
     // (4) Generate the prefetches and EQ entries (Alg. 1 lines 17-22).
-    for (std::uint32_t action : actions) {
-        stats_.inc("actions_taken");
-        stats_.inc("sel_offset_" +
-                   std::to_string(cfg_.actions[action]));
+    for (std::size_t ai = 0; ai < actions.size(); ++ai) {
+        const std::uint32_t action = actions[ai];
+        ++*c_actions_taken_;
+        ++*action_slots_[action].selected;
         const std::int32_t offset = cfg_.actions[action];
         EqEntry entry;
-        entry.state = state;
+        // The last entry takes the state buffer; earlier ones copy it.
+        if (ai + 1 == actions.size())
+            entry.state = std::move(state_scratch_);
+        else
+            entry.state = state;
         entry.action = action;
 
         if (offset == 0) {
             entry.reward = noPrefetchReward();
             entry.has_reward = true;
-            stats_.inc("action_no_prefetch");
+            ++*c_action_no_prefetch_;
         } else if (!sameePageAfterOffset(access.block, offset)) {
             entry.reward = cfg_.rewards.r_cl;
             entry.has_reward = true;
-            stats_.inc("action_out_of_page");
+            ++*c_action_out_of_page_;
         } else {
             entry.prefetch_block = static_cast<Addr>(
                 static_cast<std::int64_t>(access.block) + offset);
@@ -149,7 +180,7 @@ PythiaPrefetcher::train(const sim::PrefetchAccess& access,
             pr.block = entry.prefetch_block;
             pr.fill_level = 2;
             out.push_back(pr);
-            stats_.inc("action_prefetch");
+            ++*c_action_prefetch_;
         }
 
         // (5) Insert; retire the evicted entry via SARSA (lines 23-29).

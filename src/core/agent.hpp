@@ -75,6 +75,10 @@ class PythiaPrefetcher : public pf::PrefetcherBase
   public:
     explicit PythiaPrefetcher(const PythiaConfig& cfg = PythiaConfig{});
 
+    // Non-copyable: the counter slots point into this object's stats_.
+    PythiaPrefetcher(const PythiaPrefetcher&) = delete;
+    PythiaPrefetcher& operator=(const PythiaPrefetcher&) = delete;
+
     void train(const sim::PrefetchAccess& access,
                std::vector<sim::PrefetchRequest>& out) override;
     void onFill(Addr block, Cycle at) override;
@@ -113,6 +117,30 @@ class PythiaPrefetcher : public pf::PrefetcherBase
     FeatureExtractor extractor_;
     Rng rng_;
     StatGroup stats_;
+
+    /** Per-action counter slots, indexed by action (the per-offset stat
+     *  names are built once here instead of concatenated per event). */
+    struct ActionSlots
+    {
+        std::uint64_t* selected;      ///< sel_offset_<o>
+        std::uint64_t* accurate_timely; ///< off_at_<o>
+        std::uint64_t* accurate_late;   ///< off_al_<o>
+        std::uint64_t* inaccurate;      ///< off_in_<o>
+    };
+    std::vector<ActionSlots> action_slots_;
+    std::uint64_t* c_reward_inaccurate_;
+    std::uint64_t* c_reward_accurate_timely_;
+    std::uint64_t* c_reward_accurate_late_;
+    std::uint64_t* c_sarsa_updates_;
+    std::uint64_t* c_explored_actions_;
+    std::uint64_t* c_actions_taken_;
+    std::uint64_t* c_action_no_prefetch_;
+    std::uint64_t* c_action_out_of_page_;
+    std::uint64_t* c_action_prefetch_;
+
+    // Per-demand scratch (train() is single-threaded per agent).
+    std::vector<std::uint64_t> state_scratch_;
+    std::vector<std::uint32_t> actions_scratch_;
 };
 
 } // namespace pythia::rl

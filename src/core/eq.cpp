@@ -17,6 +17,28 @@ EvaluationQueue::insert(EqEntry entry)
     if (entries_.size() >= capacity_) {
         evicted = std::move(entries_.front());
         entries_.pop_front();
+        if (evicted->has_prefetch) {
+            const auto it = pending_.find(evicted->prefetch_block);
+            if (it != pending_.end()) {
+                // Decrement only for transitions this entry still
+                // carries; an externally rewarded entry was never
+                // decremented, and stays accounted (see PendingCounts).
+                if (!evicted->has_reward && it->second.unrewarded > 0)
+                    --it->second.unrewarded;
+                if (!evicted->fill_known && it->second.fill_unknown > 0)
+                    --it->second.fill_unknown;
+                if (it->second.unrewarded == 0 &&
+                    it->second.fill_unknown == 0)
+                    pending_.erase(it);
+            }
+        }
+    }
+    if (entry.has_prefetch) {
+        PendingCounts& pc = pending_[entry.prefetch_block];
+        if (!entry.has_reward)
+            ++pc.unrewarded;
+        if (!entry.fill_known)
+            ++pc.fill_unknown;
     }
     entries_.push_back(std::move(entry));
     return evicted;
@@ -25,11 +47,14 @@ EvaluationQueue::insert(EqEntry entry)
 EqEntry*
 EvaluationQueue::search(Addr block)
 {
+    const auto it = pending_.find(block);
+    if (it == pending_.end() || it->second.unrewarded == 0)
+        return nullptr;
     // Most recent first: a fresh prefetch should absorb the demand match.
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        if (it->has_prefetch && it->prefetch_block == block &&
-            !it->has_reward)
-            return &*it;
+    for (auto rit = entries_.rbegin(); rit != entries_.rend(); ++rit) {
+        if (rit->has_prefetch && rit->prefetch_block == block &&
+            !rit->has_reward)
+            return &*rit;
     }
     return nullptr;
 }
@@ -38,6 +63,9 @@ std::vector<EqEntry*>
 EvaluationQueue::searchAll(Addr block)
 {
     std::vector<EqEntry*> matches;
+    const auto it = pending_.find(block);
+    if (it == pending_.end() || it->second.unrewarded == 0)
+        return matches;
     for (auto& e : entries_) {
         if (e.has_prefetch && e.prefetch_block == block && !e.has_reward)
             matches.push_back(&e);
@@ -48,11 +76,19 @@ EvaluationQueue::searchAll(Addr block)
 bool
 EvaluationQueue::markFill(Addr block, Cycle at)
 {
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        if (it->has_prefetch && it->prefetch_block == block &&
-            !it->fill_known) {
-            it->fill_time = at;
-            it->fill_known = true;
+    const auto it = pending_.find(block);
+    if (it == pending_.end() || it->second.fill_unknown == 0)
+        return false;
+    for (auto rit = entries_.rbegin(); rit != entries_.rend(); ++rit) {
+        if (rit->has_prefetch && rit->prefetch_block == block &&
+            !rit->fill_known) {
+            rit->fill_time = at;
+            rit->fill_known = true;
+            if (it->second.fill_unknown > 0)
+                --it->second.fill_unknown;
+            if (it->second.unrewarded == 0 &&
+                it->second.fill_unknown == 0)
+                pending_.erase(it);
             return true;
         }
     }

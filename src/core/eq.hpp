@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -54,8 +55,43 @@ class EvaluationQueue
      * @p block. A demand can match several queued actions (different
      * offsets from different trigger addresses can target the same line);
      * each of them generated a useful prefetch and earns a reward.
+     *
+     * Mutating has_reward through the returned pointers bypasses the
+     * pending-block index, losing that block's O(1) early exit (never
+     * correctness); reward through rewardAll() on hot paths.
      */
     std::vector<EqEntry*> searchAll(Addr block);
+
+    /**
+     * The index-maintaining form of searchAll: invoke @p assign on
+     * every un-rewarded entry matching @p block (queue order), then
+     * mark it rewarded. @p assign sets the entry's reward value; the
+     * queue sets has_reward and keeps the pending-block index exact.
+     * A template (not std::function) so the per-demand call — which
+     * almost always exits after one index probe — pays no type-erasure
+     * setup. @return number of entries rewarded.
+     */
+    template <typename AssignFn>
+    std::size_t rewardAll(Addr block, AssignFn&& assign)
+    {
+        const auto it = pending_.find(block);
+        if (it == pending_.end() || it->second.unrewarded == 0)
+            return 0;
+        std::size_t rewarded = 0;
+        for (auto& e : entries_) {
+            if (e.has_prefetch && e.prefetch_block == block &&
+                !e.has_reward) {
+                assign(e);
+                e.has_reward = true;
+                ++rewarded;
+                if (it->second.unrewarded > 0)
+                    --it->second.unrewarded;
+            }
+        }
+        if (it->second.unrewarded == 0 && it->second.fill_unknown == 0)
+            pending_.erase(it);
+        return rewarded;
+    }
 
     /** Record a prefetch fill for a matching entry (Algorithm 1 line 31).
      *  @return true when an entry was marked. */
@@ -70,11 +106,34 @@ class EvaluationQueue
     std::size_t capacity() const { return capacity_; }
 
     /** Drop all entries (Algorithm 1 line 3). */
-    void clear() { entries_.clear(); }
+    void clear()
+    {
+        entries_.clear();
+        pending_.clear();
+    }
 
   private:
+    /**
+     * Per-block occupancy counts for the O(1) early exit in front of
+     * the queue scans. A 256-entry EQ is scanned on *every* demand
+     * access, and almost every scan matches nothing; one hash probe
+     * answers "nothing here" without walking the deque.
+     *
+     * Counts are conservative: they decrement only when the queue
+     * itself observes the transition (rewardAll / markFill / eviction),
+     * so external mutation through search()/searchAll() pointers can
+     * leave them too high — which only costs the shortcut, never
+     * correctness.
+     */
+    struct PendingCounts
+    {
+        std::uint32_t unrewarded = 0;  ///< has_prefetch && !has_reward
+        std::uint32_t fill_unknown = 0; ///< has_prefetch && !fill_known
+    };
+
     std::size_t capacity_;
     std::deque<EqEntry> entries_;
+    std::unordered_map<Addr, PendingCounts> pending_;
 };
 
 } // namespace pythia::rl

@@ -24,6 +24,10 @@ QVStore::QVStore(const QVStoreConfig& cfg) : cfg_(cfg)
     table_.assign(static_cast<std::size_t>(cfg_.num_features) *
                       cfg_.num_planes * rows_per_plane_ * cfg_.num_actions,
                   0.0f);
+    rows_.assign(static_cast<std::size_t>(cfg_.num_features) *
+                     cfg_.num_planes,
+                 0);
+    scored_.reserve(cfg_.num_actions);
     resetToOptimistic();
 }
 
@@ -72,27 +76,52 @@ QVStore::vaultQ(std::uint32_t vault, std::uint64_t feature_value,
     return sum;
 }
 
+void
+QVStore::computeRows(const std::vector<std::uint64_t>& state) const
+{
+    assert(state.size() == cfg_.num_features);
+    std::uint32_t* r = rows_.data();
+    for (std::uint32_t v = 0; v < cfg_.num_features; ++v) {
+        const std::uint64_t fv = state[v];
+        for (std::uint32_t p = 0; p < cfg_.num_planes; ++p)
+            *r++ = planeRow(p, fv);
+    }
+}
+
+double
+QVStore::qFromRows(std::uint32_t action) const
+{
+    // Same evaluation order as summing vaultQ per vault: plane partials
+    // accumulate into a double per vault, max over vaults.
+    const std::uint32_t* r = rows_.data();
+    double best = -1e300;
+    for (std::uint32_t v = 0; v < cfg_.num_features; ++v) {
+        double sum = 0.0;
+        for (std::uint32_t p = 0; p < cfg_.num_planes; ++p)
+            sum += cellValue(v, p, r[p], action);
+        r += cfg_.num_planes;
+        if (sum > best)
+            best = sum;
+    }
+    return best;
+}
+
 double
 QVStore::q(const std::vector<std::uint64_t>& state,
            std::uint32_t action) const
 {
-    assert(state.size() == cfg_.num_features);
-    double best = -1e300;
-    for (std::uint32_t v = 0; v < cfg_.num_features; ++v) {
-        const double qv = vaultQ(v, state[v], action);
-        if (qv > best)
-            best = qv;
-    }
-    return best;
+    computeRows(state);
+    return qFromRows(action);
 }
 
 std::uint32_t
 QVStore::maxAction(const std::vector<std::uint64_t>& state) const
 {
+    computeRows(state);
     std::uint32_t best = 0;
-    double best_q = q(state, 0);
+    double best_q = qFromRows(0);
     for (std::uint32_t a = 1; a < cfg_.num_actions; ++a) {
-        const double qa = q(state, a);
+        const double qa = qFromRows(a);
         if (qa > best_q) {
             best_q = qa;
             best = a;
@@ -105,25 +134,43 @@ std::vector<std::uint32_t>
 QVStore::topActions(const std::vector<std::uint64_t>& state,
                     std::uint32_t k) const
 {
-    std::vector<std::pair<double, std::uint32_t>> scored;
-    scored.reserve(cfg_.num_actions);
+    std::vector<std::uint32_t> out;
+    topActionsInto(state, k, out);
+    return out;
+}
+
+void
+QVStore::topActionsInto(const std::vector<std::uint64_t>& state,
+                        std::uint32_t k,
+                        std::vector<std::uint32_t>& out) const
+{
+    computeRows(state);
+    scored_.clear();
     for (std::uint32_t a = 0; a < cfg_.num_actions; ++a)
-        scored.emplace_back(q(state, a), a);
-    std::sort(scored.begin(), scored.end(), [](const auto& x,
-                                               const auto& y) {
+        scored_.emplace_back(qFromRows(a), a);
+    std::sort(scored_.begin(), scored_.end(), [](const auto& x,
+                                                 const auto& y) {
         return x.first != y.first ? x.first > y.first
                                   : x.second < y.second;
     });
-    std::vector<std::uint32_t> out;
-    for (std::uint32_t i = 0; i < k && i < scored.size(); ++i)
-        out.push_back(scored[i].second);
-    return out;
+    out.clear();
+    for (std::uint32_t i = 0; i < k && i < scored_.size(); ++i)
+        out.push_back(scored_[i].second);
 }
 
 double
 QVStore::maxQ(const std::vector<std::uint64_t>& state) const
 {
-    return q(state, maxAction(state));
+    // Same argmax scan as maxAction (lowest index wins ties), returning
+    // the winning Q directly instead of re-deriving it.
+    computeRows(state);
+    double best_q = qFromRows(0);
+    for (std::uint32_t a = 1; a < cfg_.num_actions; ++a) {
+        const double qa = qFromRows(a);
+        if (qa > best_q)
+            best_q = qa;
+    }
+    return best_q;
 }
 
 void
@@ -132,14 +179,19 @@ QVStore::update(const std::vector<std::uint64_t>& s1, std::uint32_t a1,
                 std::uint32_t a2)
 {
     assert(a1 < cfg_.num_actions && a2 < cfg_.num_actions);
+    // q(s2, a2) second so rows_ holds s1's rows for the write loop.
+    const double q_s2a2 = q(s2, a2);
     const double q_sa = q(s1, a1);
-    const double target = reward + cfg_.gamma * q(s2, a2);
+    const double target = reward + cfg_.gamma * q_s2a2;
     const double err = target - q_sa;
     const float step = static_cast<float>(
         cfg_.alpha * err / cfg_.num_planes);
-    for (std::uint32_t v = 0; v < cfg_.num_features; ++v)
+    const std::uint32_t* r = rows_.data();
+    for (std::uint32_t v = 0; v < cfg_.num_features; ++v) {
         for (std::uint32_t p = 0; p < cfg_.num_planes; ++p)
-            cell(v, p, planeRow(p, s1[v]), a1) += step;
+            cell(v, p, r[p], a1) += step;
+        r += cfg_.num_planes;
+    }
     ++updates_;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -55,6 +56,24 @@ class QVStore
     topActions(const std::vector<std::uint64_t>& state,
                std::uint32_t k) const;
 
+    /** topActions into @p out (cleared first), for per-demand callers
+     *  that reuse one buffer. */
+    void topActionsInto(const std::vector<std::uint64_t>& state,
+                        std::uint32_t k,
+                        std::vector<std::uint32_t>& out) const;
+
+    /**
+     * Q(S, A) for the state of the most recent q() / maxAction() /
+     * topActions() / maxQ() call on this object, without re-hashing the
+     * plane rows. Per-demand callers that probe several actions of one
+     * state (the agent's secondary-action filter) use this; identical
+     * to q(same_state, action).
+     */
+    double qAtLastState(std::uint32_t action) const
+    {
+        return qFromRows(action);
+    }
+
     /** Q(S, argmax_a Q(S, a)). */
     double maxQ(const std::vector<std::uint64_t>& state) const;
 
@@ -89,11 +108,31 @@ class QVStore
     float cellValue(std::uint32_t vault, std::uint32_t plane,
                     std::uint32_t row, std::uint32_t action) const;
 
+    /**
+     * Hash the state's plane rows into @p rows_ once per state. The
+     * rows depend only on (plane, feature value) — never on the action
+     * — so every per-action Q evaluation afterwards is pure table
+     * reads; without this, maxAction()/topActions() redo
+     * vaults x planes hashes per action.
+     */
+    void computeRows(const std::vector<std::uint64_t>& state) const;
+
+    /** Q(S, A) from the rows of the last computeRows() call: max over
+     *  vaults of the plane-partial sums, in the same order as the
+     *  direct evaluation (bit-identical results). */
+    double qFromRows(std::uint32_t action) const;
+
     QVStoreConfig cfg_;
     std::uint32_t rows_per_plane_;
     /** [vault][plane][row * actions + action] flattened. */
     std::vector<float> table_;
     std::uint64_t updates_ = 0;
+    /** computeRows() scratch: [vault * num_planes + plane] -> row.
+     *  Mutable because Q evaluation is logically const; a QVStore is
+     *  owned by one single-threaded simulation (DESIGN.md §6). */
+    mutable std::vector<std::uint32_t> rows_;
+    /** topActions() scratch (same single-thread reasoning). */
+    mutable std::vector<std::pair<double, std::uint32_t>> scored_;
 };
 
 } // namespace pythia::rl

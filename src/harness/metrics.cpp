@@ -4,8 +4,11 @@ namespace pythia::harness {
 
 Metrics
 computeMetrics(const sim::RunResult& with_pf,
-               const sim::RunResult& baseline)
+               const sim::RunResult& baseline) noexcept
 {
+    // Straight-line arithmetic; the only branches guard the
+    // division-by-zero degenerate cases (empty baseline runs). Keeps
+    // the exact operation order the golden-metrics suite pins.
     Metrics m;
     if (baseline.ipc_geomean > 0.0)
         m.speedup = with_pf.ipc_geomean / baseline.ipc_geomean;

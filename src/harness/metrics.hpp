@@ -25,6 +25,6 @@ struct Metrics
 
 /** Compute the paper's metrics from a prefetched and a baseline run. */
 Metrics computeMetrics(const sim::RunResult& with_pf,
-                       const sim::RunResult& baseline);
+                       const sim::RunResult& baseline) noexcept;
 
 } // namespace pythia::harness

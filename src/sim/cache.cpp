@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "sim/dram.hpp"
 
@@ -27,30 +28,59 @@ Cache::Cache(const CacheConfig& cfg, MemoryLevel& next)
     sets_ = static_cast<std::uint32_t>(cfg_.size_bytes /
                                        (kBlockSize * cfg_.ways));
     assert(sets_ > 0);
+    pow2_sets_ = (sets_ & (sets_ - 1)) == 0;
+    set_mask_ = sets_ - 1;
     blocks_.assign(static_cast<std::size_t>(sets_) * cfg_.ways, Block{});
     repl_ = makeReplacement(cfg_.replacement, sets_, cfg_.ways);
+
+    hot_.demand_load_access = stats_.counterSlot("demand_load_access");
+    hot_.demand_store_access = stats_.counterSlot("demand_store_access");
+    hot_.demand_load_miss = stats_.counterSlot("demand_load_miss");
+    hot_.demand_store_miss = stats_.counterSlot("demand_store_miss");
+    hot_.read_miss_total = stats_.counterSlot("read_miss_total");
+    hot_.mshr_stalls = stats_.counterSlot("mshr_stalls");
+    hot_.evictions = stats_.counterSlot("evictions");
+    hot_.writebacks = stats_.counterSlot("writebacks");
+    hot_.prefetch_useless = stats_.counterSlot("prefetch_useless");
+    hot_.prefetch_dropped = stats_.counterSlot("prefetch_dropped");
+    hot_.prefetch_bad_fill_level =
+        stats_.counterSlot("prefetch_bad_fill_level");
+    hot_.prefetch_issued = stats_.counterSlot("prefetch_issued");
+    hot_.prefetch_issued_next_level =
+        stats_.counterSlot("prefetch_issued_next_level");
+    hot_.prefetch_useful_timely =
+        stats_.counterSlot("prefetch_useful_timely");
+    hot_.prefetch_useful_late =
+        stats_.counterSlot("prefetch_useful_late");
 }
 
 std::uint32_t
 Cache::setOf(Addr block) const
 {
-    // Modulo indexing supports non-power-of-two set counts (e.g. the
-    // 24MB LLC of a 12-core system); for power-of-two counts the
-    // compiler reduces this to the usual mask.
+    // Power-of-two set counts (the common geometry) reduce to a mask;
+    // the modulo fallback supports e.g. the 24MB LLC of a 12-core
+    // system. Both forms compute block % sets_.
+    if (pow2_sets_)
+        return static_cast<std::uint32_t>(block) & set_mask_;
     return static_cast<std::uint32_t>(block % sets_);
 }
 
 Cache::Block*
-Cache::findBlock(Addr block)
+Cache::findBlockAt(std::size_t base, Addr block)
 {
-    const std::size_t base =
-        static_cast<std::size_t>(setOf(block)) * cfg_.ways;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
         Block& b = blocks_[base + w];
         if (b.valid && b.addr == block)
             return &b;
     }
     return nullptr;
+}
+
+Cache::Block*
+Cache::findBlock(Addr block)
+{
+    return findBlockAt(static_cast<std::size_t>(setOf(block)) * cfg_.ways,
+                       block);
 }
 
 const Cache::Block*
@@ -65,16 +95,26 @@ Cache::contains(Addr block) const
     return findBlock(block) != nullptr;
 }
 
+void
+Cache::popInflight()
+{
+    std::pop_heap(inflight_.begin(), inflight_.end(),
+                  std::greater<Cycle>{});
+    inflight_.pop_back();
+}
+
 Cycle
 Cache::reserveMshr(Cycle t)
 {
     // Retire completed misses, then stall until a slot frees if needed.
-    while (!inflight_.empty() && *inflight_.begin() <= t)
-        inflight_.erase(inflight_.begin());
+    // The heap only ever surfaces the earliest completion time, which
+    // is all MSHR accounting consumes.
+    while (!inflight_.empty() && inflight_.front() <= t)
+        popInflight();
     if (inflight_.size() >= cfg_.mshrs) {
-        stats_.inc("mshr_stalls");
-        t = *inflight_.begin();
-        inflight_.erase(inflight_.begin());
+        ++*hot_.mshr_stalls;
+        t = inflight_.front();
+        popInflight();
     }
     return t;
 }
@@ -97,15 +137,15 @@ Cache::insertBlock(const MemAccess& req, Cycle fill_time)
         way = repl_->victim(set);
         Block& victim = blocks_[base + way];
         repl_->onEvict(set, way, victim.reused);
-        stats_.inc("evictions");
+        ++*hot_.evictions;
         if (victim.prefetched) {
             if (!victim.used)
-                stats_.inc("prefetch_useless");
+                ++*hot_.prefetch_useless;
             if (prefetcher_)
                 prefetcher_->onPrefetchEvicted(victim.addr, victim.used);
         }
         if (victim.dirty) {
-            stats_.inc("writebacks");
+            ++*hot_.writebacks;
             MemAccess wb;
             wb.pc = 0;
             wb.block = victim.addr;
@@ -144,13 +184,13 @@ Cache::issuePrefetches(const PrefetchAccess& acc,
         if (pr.fill_level < 2 || pr.fill_level > 3) {
             // Reject out-of-range fill levels from buggy prefetchers
             // instead of silently misrouting the fill.
-            stats_.inc("prefetch_bad_fill_level");
+            ++*hot_.prefetch_bad_fill_level;
             continue;
         }
         if (pr.block == acc.block)
             continue;
         if (contains(pr.block)) {
-            stats_.inc("prefetch_dropped");
+            ++*hot_.prefetch_dropped;
             continue;
         }
         MemAccess req;
@@ -163,14 +203,16 @@ Cache::issuePrefetches(const PrefetchAccess& acc,
         if (pr.fill_level >= 3) {
             // Fill the next level only; do not pollute this cache.
             next_.access(req);
-            stats_.inc("prefetch_issued_next_level");
+            ++*hot_.prefetch_issued_next_level;
         } else {
             const Cycle t = reserveMshr(req.at);
             req.at = t;
             const Cycle done = next_.access(req);
-            inflight_.insert(done);
+            inflight_.push_back(done);
+            std::push_heap(inflight_.begin(), inflight_.end(),
+                           std::greater<Cycle>{});
             insertBlock(req, done);
-            stats_.inc("prefetch_issued");
+            ++*hot_.prefetch_issued;
             if (prefetcher_)
                 prefetcher_->onFill(pr.block, done);
         }
@@ -186,19 +228,21 @@ Cache::access(const MemAccess& req)
                             req.type == AccessType::Store);
     const Cycle t = req.at + cfg_.lookup_latency;
 
-    Block* blk = findBlock(req.block);
+    const std::uint32_t set = setOf(req.block);
+    const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+    Block* blk = findBlockAt(base, req.block);
     const bool hit = (blk != nullptr);
 
     if (is_demand) {
-        stats_.inc(req.type == AccessType::Load ? "demand_load_access"
-                                                : "demand_store_access");
+        ++*(req.type == AccessType::Load ? hot_.demand_load_access
+                                         : hot_.demand_store_access);
         if (!hit) {
-            stats_.inc(req.type == AccessType::Load ? "demand_load_miss"
-                                                    : "demand_store_miss");
-            stats_.inc("read_miss_total");
+            ++*(req.type == AccessType::Load ? hot_.demand_load_miss
+                                             : hot_.demand_store_miss);
+            ++*hot_.read_miss_total;
         }
     } else if (req.type == AccessType::Prefetch && !hit) {
-        stats_.inc("read_miss_total");
+        ++*hot_.read_miss_total;
     }
 
     Cycle ready;
@@ -207,15 +251,12 @@ Cache::access(const MemAccess& req)
             if (blk->prefetched && !blk->used) {
                 blk->used = true;
                 const bool timely = blk->fill_time <= t;
-                stats_.inc(timely ? "prefetch_useful_timely"
-                                  : "prefetch_useful_late");
+                ++*(timely ? hot_.prefetch_useful_timely
+                           : hot_.prefetch_useful_late);
                 if (prefetcher_)
                     prefetcher_->onPrefetchUsed(req.block, timely);
             }
             blk->reused = true;
-            const std::uint32_t set = setOf(req.block);
-            const std::size_t base =
-                static_cast<std::size_t>(set) * cfg_.ways;
             const auto way =
                 static_cast<std::uint32_t>(blk - &blocks_[base]);
             ReplAccess ctx;
@@ -236,7 +277,9 @@ Cache::access(const MemAccess& req)
             MemAccess fwd = req;
             fwd.at = start;
             const Cycle done = next_.access(fwd);
-            inflight_.insert(done);
+            inflight_.push_back(done);
+            std::push_heap(inflight_.begin(), inflight_.end(),
+                           std::greater<Cycle>{});
             insertBlock(req, done);
             ready = done;
         }

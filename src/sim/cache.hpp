@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -129,8 +128,16 @@ class Cache : public MemoryLevel
     };
 
     std::uint32_t setOf(Addr block) const;
+
+    /** Way-scan of the set at @p base for @p block; null on miss. The
+     *  one tag-match loop both findBlock() and access() use. */
+    Block* findBlockAt(std::size_t base, Addr block);
+
     Block* findBlock(Addr block);
     const Block* findBlock(Addr block) const;
+
+    /** Pop the smallest completion time off the in-flight min-heap. */
+    void popInflight();
 
     /** Apply MSHR occupancy: may delay @p t until a slot frees up. */
     Cycle reserveMshr(Cycle t);
@@ -144,12 +151,36 @@ class Cache : public MemoryLevel
     CacheConfig cfg_;
     MemoryLevel& next_;
     std::uint32_t sets_;
+    bool pow2_sets_;         ///< enables mask indexing in setOf
+    std::uint32_t set_mask_; ///< sets_ - 1 when pow2_sets_
     std::vector<Block> blocks_;
     std::unique_ptr<ReplacementPolicy> repl_;
-    std::multiset<Cycle> inflight_; ///< completion times of pending misses
+    /** Completion times of pending misses, as a min-heap (only the
+     *  earliest completion is ever consumed). */
+    std::vector<Cycle> inflight_;
     PrefetcherApi* prefetcher_ = nullptr;
     std::vector<PrefetchRequest> scratch_candidates_;
     StatGroup stats_;
+
+    /** Per-access counters, resolved once (see StatGroup::counterSlot). */
+    struct HotCounters
+    {
+        std::uint64_t* demand_load_access;
+        std::uint64_t* demand_store_access;
+        std::uint64_t* demand_load_miss;
+        std::uint64_t* demand_store_miss;
+        std::uint64_t* read_miss_total;
+        std::uint64_t* mshr_stalls;
+        std::uint64_t* evictions;
+        std::uint64_t* writebacks;
+        std::uint64_t* prefetch_useless;
+        std::uint64_t* prefetch_dropped;
+        std::uint64_t* prefetch_bad_fill_level;
+        std::uint64_t* prefetch_issued;
+        std::uint64_t* prefetch_issued_next_level;
+        std::uint64_t* prefetch_useful_timely;
+        std::uint64_t* prefetch_useful_late;
+    } hot_;
 };
 
 } // namespace pythia::sim

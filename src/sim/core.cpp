@@ -9,7 +9,10 @@ Core::Core(const CoreConfig& cfg, std::uint32_t id, MemoryLevel& l1d,
            wl::Workload& workload)
     : cfg_(cfg), id_(id), l1d_(l1d), workload_(workload),
       addr_offset_(static_cast<Addr>(id) << 46),
-      rob_retire_slot_(cfg.rob_size, 0), stats_("core")
+      rob_retire_slot_(cfg.rob_size, 0), stats_("core"),
+      c_loads_(stats_.counterSlot("loads")),
+      c_stores_(stats_.counterSlot("stores")),
+      c_mem_instrs_(stats_.counterSlot("mem_instrs"))
 {
     assert(cfg_.rob_size > 0 && cfg_.width > 0);
 }
@@ -65,13 +68,13 @@ Core::step()
     if (rec.is_write) {
         // Stores retire through the store buffer without waiting on memory.
         dispatch(0);
-        stats_.inc("stores");
+        ++*c_stores_;
     } else {
         dispatch(done);
         last_load_done_ = done;
-        stats_.inc("loads");
+        ++*c_loads_;
     }
-    stats_.inc("mem_instrs");
+    ++*c_mem_instrs_;
 }
 
 void

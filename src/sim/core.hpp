@@ -49,6 +49,10 @@ class Core
     Core(const CoreConfig& cfg, std::uint32_t id, MemoryLevel& l1d,
          wl::Workload& workload);
 
+    // Non-copyable: the counter slots point into this object's stats_.
+    Core(const Core&) = delete;
+    Core& operator=(const Core&) = delete;
+
     /** Execute trace records until the retirement frontier passes
      *  @p until or nothing can proceed. */
     void runUntil(Cycle until);
@@ -87,6 +91,10 @@ class Core
     std::vector<std::uint64_t> rob_retire_slot_;
 
     StatGroup stats_;
+    // Per-instruction counters, resolved once (StatGroup::counterSlot).
+    std::uint64_t* c_loads_;
+    std::uint64_t* c_stores_;
+    std::uint64_t* c_mem_instrs_;
 };
 
 } // namespace pythia::sim

@@ -8,7 +8,13 @@
 
 namespace pythia::sim {
 
-Dram::Dram(const DramConfig& cfg) : cfg_(cfg), stats_("dram")
+Dram::Dram(const DramConfig& cfg)
+    : cfg_(cfg), stats_("dram"),
+      c_row_hits_(stats_.counterSlot("row_hits")),
+      c_row_misses_(stats_.counterSlot("row_misses")),
+      c_bus_busy_cycles_(stats_.counterSlot("bus_busy_cycles")),
+      c_reads_(stats_.counterSlot("reads")),
+      c_writes_(stats_.counterSlot("writes"))
 {
     assert(cfg_.channels > 0 && cfg_.banks_per_rank > 0);
     assert(cfg_.mtps > 0);
@@ -80,13 +86,13 @@ Dram::access(Addr block, Cycle at, bool is_write)
         // Row hits pipeline: the bank accepts the next CAS after one
         // transfer slot even though this access's data arrives at tCAS.
         bank.next_free = start + line_transfer_cycles_;
-        stats_.inc("row_hits");
+        ++*c_row_hits_;
     } else {
         access_lat = t_rp_ + t_rcd_ + t_cas_;
         bank.open_row = row;
         // Activating a new row occupies the bank for precharge+activate.
         bank.next_free = start + t_rp_ + t_rcd_ + line_transfer_cycles_;
-        stats_.inc("row_misses");
+        ++*c_row_misses_;
     }
     const Cycle bank_done = start + access_lat;
 
@@ -97,8 +103,8 @@ Dram::access(Addr block, Cycle at, bool is_write)
     bus = done;
 
     busy_in_epoch_ += line_transfer_cycles_;
-    stats_.inc("bus_busy_cycles", line_transfer_cycles_);
-    stats_.inc(is_write ? "writes" : "reads");
+    *c_bus_busy_cycles_ += line_transfer_cycles_;
+    ++*(is_write ? c_writes_ : c_reads_);
     return done;
 }
 

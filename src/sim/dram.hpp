@@ -48,6 +48,10 @@ class Dram : public BandwidthInfo
   public:
     explicit Dram(const DramConfig& cfg);
 
+    // Non-copyable: the counter slots point into this object's stats_.
+    Dram(const Dram&) = delete;
+    Dram& operator=(const Dram&) = delete;
+
     /**
      * Issue a 64B line read at @p at; returns the completion cycle (data
      * fully transferred on the channel bus).
@@ -109,6 +113,12 @@ class Dram : public BandwidthInfo
     std::uint64_t bucket_epochs_[4] = {0, 0, 0, 0};
 
     StatGroup stats_;
+    // Per-access counters, resolved once (StatGroup::counterSlot).
+    std::uint64_t* c_row_hits_;
+    std::uint64_t* c_row_misses_;
+    std::uint64_t* c_bus_busy_cycles_;
+    std::uint64_t* c_reads_;
+    std::uint64_t* c_writes_;
 };
 
 } // namespace pythia::sim
