@@ -21,10 +21,12 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "harness/experiment.hpp"
 #include "harness/perf.hpp"
 #include "harness/sweep.hpp"
+#include "harness/timeseries.hpp"
 #include "workloads/suites.hpp"
 
 namespace pythia::bench {
@@ -129,6 +132,122 @@ runSweep(harness::Sweep& sweep, harness::Runner& runner,
     if (!opt.perf_out.empty() && !opt.perf.writeTo(opt.perf_out))
         std::cerr << "[perf] cannot write " << opt.perf_out << "\n";
     return outcomes;
+}
+
+/** Strict-CLI keys of the streaming-session benches: windows=<n>
+ *  (uniform window count), window_instrs=<n> (uniform window stride)
+ *  and series_out=<path> (combined per-window CSV). */
+inline const std::vector<std::string>&
+sessionFlagKeys()
+{
+    static const std::vector<std::string> keys = {"windows",
+                                                  "window_instrs",
+                                                  "series_out"};
+    return keys;
+}
+
+/** Parsed session/window flags (0 / empty = unset). */
+struct SessionOptions
+{
+    std::uint64_t windows = 0;       ///< uniform window count
+    std::uint64_t window_instrs = 0; ///< uniform window stride (instrs)
+    std::string series_out;          ///< combined per-window CSV path
+};
+
+/** Read the sessionFlagKeys() values out of an already-parsed bench
+ *  command line; exits with status 2 on malformed values, like
+ *  parseBenchArgs(). */
+inline SessionOptions
+parseSessionFlags(const BenchOptions& opt)
+{
+    SessionOptions s;
+    try {
+        const std::int64_t windows = opt.cli.getInt("windows", 0);
+        const std::int64_t stride = opt.cli.getInt("window_instrs", 0);
+        if (windows < 0 || stride < 0)
+            throw std::invalid_argument(
+                "windows/window_instrs must be >= 0");
+        s.windows = static_cast<std::uint64_t>(windows);
+        s.window_instrs = static_cast<std::uint64_t>(stride);
+        s.series_out = opt.cli.getString("series_out", "");
+    } catch (const std::exception& e) {
+        std::cerr << "bench: " << e.what() << "\n";
+        std::exit(2);
+    }
+    return s;
+}
+
+/**
+ * Window boundaries for a streamed session of @p total measured
+ * instructions: the figure-dictated @p required boundaries (e.g.
+ * fig23's warmup points) merged with the uniform split the windows= /
+ * window_instrs= flags request, deduplicated, clipped to (0, total)
+ * and always ending at @p total.
+ */
+inline std::vector<std::uint64_t>
+windowEnds(std::uint64_t total, const SessionOptions& s,
+           const std::vector<std::uint64_t>& required = {})
+{
+    std::set<std::uint64_t> ends(required.begin(), required.end());
+    if (s.windows > 0) {
+        const std::uint64_t step =
+            std::max<std::uint64_t>(1, total / s.windows);
+        for (std::uint64_t e = step; e < total; e += step)
+            ends.insert(e);
+    }
+    if (s.window_instrs > 0)
+        for (std::uint64_t e = s.window_instrs; e < total;
+             e += s.window_instrs)
+            ends.insert(e);
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t e : ends)
+        if (e > 0 && e < total)
+            out.push_back(e);
+    out.push_back(total);
+    return out;
+}
+
+/** Write several labeled TimeSeries as one CSV: the @p label_header
+ *  columns (each series' label is emitted verbatim as the row prefix)
+ *  followed by the TimeSeries columns. */
+inline bool
+writeLabeledSeriesCsv(
+    const std::string& path, const std::string& label_header,
+    const std::vector<std::pair<std::string, const harness::TimeSeries*>>&
+        series)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << label_header << "," << harness::TimeSeries::csvHeader() << "\n";
+    for (const auto& [label, ts] : series)
+        for (const auto& w : ts->samples())
+            f << label << "," << harness::TimeSeries::csvRow(w) << "\n";
+    return static_cast<bool>(f);
+}
+
+/** A streamed cell of a session bench: its series_out label and the
+ *  WindowedOutcome slot its sweep task fills. */
+using SessionCell =
+    std::pair<std::string, std::shared_ptr<harness::Runner::WindowedOutcome>>;
+
+/** Emit every cell's prefetched-run series as one labeled CSV at
+ *  @p path (no-op when empty); prints the outcome like finish(). */
+inline void
+emitRunSeries(const std::string& path, const std::string& label_header,
+              const std::vector<SessionCell>& cells)
+{
+    if (path.empty())
+        return;
+    std::vector<std::pair<std::string, const harness::TimeSeries*>>
+        labeled;
+    labeled.reserve(cells.size());
+    for (const auto& [label, cell] : cells)
+        labeled.emplace_back(label, &cell->run);
+    if (writeLabeledSeriesCsv(path, label_header, labeled))
+        std::cout << "[series written: " << path << "]\n";
+    else
+        std::cerr << "[series] cannot write " << path << "\n";
 }
 
 /** Single-core experiment with the bench-standard windows; @p pf is a

@@ -7,6 +7,17 @@
  * Paper shape: Pythia improves on the baseline almost everywhere, with
  * the largest wins on irregular traces and the known loss cases on
  * heavy streamers (where Bingo's full-region prefetch is unbeatable).
+ *
+ * Every cell runs as ONE streamed SimSession (Runner::evaluateWindowed;
+ * the no-prefetching baseline streams once per workload and is cached).
+ * By default the session is observed at a single boundary, which is
+ * bit-identical to the batch path, so the tables match the pre-session
+ * bench exactly. windows= / window_instrs= split the observation into
+ * finer windows and series_out=<path> dumps the per-window metric
+ * evolution of every cell — the s-curve over instruction windows — as
+ * one labeled CSV. Note: multi-core cells interleave cores per window,
+ * so window splits are a (deterministic) scheduling variant of the
+ * figure, not a reproduction of the windows=1 numbers.
  */
 #include <algorithm>
 
@@ -16,11 +27,14 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::sessionFlagKeys());
+    const bench::SessionOptions sopt = bench::parseSessionFlags(opt);
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
 
     harness::Runner runner;
+    std::vector<bench::SessionCell> cells;
 
     struct Row
     {
@@ -40,11 +54,22 @@ main(int argc, char** argv)
                         .cores(cores);
                 if (cores > 1)
                     exp.scaleWindows(0.5);
-                sweep.add(exp,
-                          [&rows, i,
-                           pf](const harness::Runner::Outcome& o) {
-                              rows[i].speedup[pf] = o.metrics.speedup;
-                          });
+                const harness::ExperimentSpec spec = exp.build();
+                const std::vector<std::uint64_t> ends =
+                    bench::windowEnds(spec.sim_instrs, sopt);
+                auto cell =
+                    std::make_shared<harness::Runner::WindowedOutcome>();
+                sweep.addTask(
+                    [spec, ends, cell](harness::Runner& r) {
+                        *cell = r.evaluateWindowed(spec, ends);
+                        return cell->final;
+                    },
+                    [&rows, i, pf](const harness::Runner::Outcome& o) {
+                        rows[i].speedup[pf] = o.metrics.speedup;
+                    });
+                cells.emplace_back(workloads[i] + "," + pf + "," +
+                                       std::to_string(cores),
+                                   cell);
             }
         }
         bench::runSweep(sweep, runner, opt);
@@ -60,10 +85,10 @@ main(int argc, char** argv)
             header.push_back(pf);
         table.setHeader(header);
         for (const auto& r : rows) {
-            std::vector<std::string> cells = {r.workload};
+            std::vector<std::string> cells_row = {r.workload};
             for (const auto& pf : prefetchers)
-                cells.push_back(Table::fmt(r.speedup.at(pf)));
-            table.addRow(cells);
+                cells_row.push_back(Table::fmt(r.speedup.at(pf)));
+            table.addRow(cells_row);
         }
         bench::finish(table, "fig" + tag + "_scurve_" +
                                  std::to_string(cores) + "c");
@@ -74,5 +99,8 @@ main(int argc, char** argv)
         all_names.push_back(w.name);
     build(all_names, 1, "17");
     build(bench::representativeWorkloads(), 4, "18");
+
+    bench::emitRunSeries(sopt.series_out, "workload,prefetcher,cores",
+                         cells);
     return 0;
 }

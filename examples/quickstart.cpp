@@ -52,5 +52,17 @@ main(int argc, char** argv)
                       Table::pct(outcome.metrics.accuracy)});
     }
     table.print();
+
+    // The same run as a stream, in five lines: open a session, step it
+    // window by window, read each window's delta as it lands.
+    std::cout << "\nStreaming the pythia run, 30k-instruction windows:\n";
+    harness::SimSession session(
+        harness::Experiment(workload).l2("pythia").mtps(mtps).build());
+    while (!session.done()) {
+        session.advance(30'000);
+        const harness::WindowSample& w = session.lastWindow();
+        std::printf("  window %zu: ipc=%.3f accuracy=%.2f\n", w.index,
+                    w.delta.ipc_geomean, w.delta.accuracy());
+    }
     return 0;
 }

@@ -13,15 +13,19 @@
  * (sim/prefetcher_registry.hpp), including parameterized and composed
  * specs. Terminal operations: spec() / build() yield the underlying
  * ExperimentSpec, simulate() performs one raw run, run(runner)
- * evaluates against the cached no-prefetching baseline.
+ * evaluates against the cached no-prefetching baseline, and
+ * openSession() opens a streaming SimSession with any observers
+ * registered through observe() already attached.
  */
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness/runner.hpp"
+#include "harness/session.hpp"
 
 namespace pythia::harness {
 
@@ -120,6 +124,18 @@ class ExperimentBuilder
         return *this;
     }
 
+    /**
+     * Register a session observer: every session opened through
+     * openSession() gets it attached (shared, so one TimeSeries can
+     * also outlive the builder). Observers are not part of the spec —
+     * build()/spec() stay pure data.
+     */
+    ExperimentBuilder& observe(std::shared_ptr<SessionObserver> observer)
+    {
+        observers_.push_back(std::move(observer));
+        return *this;
+    }
+
     /** The accumulated spec. */
     const ExperimentSpec& spec() const { return spec_; }
 
@@ -129,14 +145,33 @@ class ExperimentBuilder
     /** One raw simulation (construct, warm up, measure). */
     sim::RunResult simulate() const { return harness::simulate(spec_); }
 
+    /** Open a streaming session with the observe()d observers attached
+     *  (the builder can be reused; each session gets its own machine). */
+    SimSession openSession() const
+    {
+        SimSession session(spec_);
+        for (const auto& o : observers_)
+            session.addObserver(o);
+        return session;
+    }
+
     /** Evaluate against @p runner's cached no-prefetching baseline. */
     Runner::Outcome run(Runner& runner) const
     {
         return runner.evaluate(spec_);
     }
 
+    /** Windowed evaluation through @p runner (streamed run + streamed,
+     *  cached baseline over the same @p window_ends). */
+    Runner::WindowedOutcome stream(
+        Runner& runner, const std::vector<std::uint64_t>& window_ends) const
+    {
+        return runner.evaluateWindowed(spec_, window_ends);
+    }
+
   private:
     ExperimentSpec spec_;
+    std::vector<std::shared_ptr<SessionObserver>> observers_;
 };
 
 /** Entry points matching the fluent style:

@@ -1,5 +1,8 @@
 #include "harness/metrics.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace pythia::harness {
 
 Metrics
@@ -29,6 +32,35 @@ computeMetrics(const sim::RunResult& with_pf,
     }
     m.accuracy = with_pf.accuracy();
     return m;
+}
+
+Metrics
+computeMetrics(const WindowSample& with_pf,
+               const WindowSample& baseline) noexcept
+{
+    return computeMetrics(with_pf.delta, baseline.delta);
+}
+
+std::vector<Metrics>
+computeWindowedMetrics(const TimeSeries& with_pf,
+                       const TimeSeries& baseline)
+{
+    if (with_pf.size() != baseline.size())
+        throw std::invalid_argument(
+            "computeWindowedMetrics: series lengths differ (" +
+            std::to_string(with_pf.size()) + " vs " +
+            std::to_string(baseline.size()) + ")");
+    std::vector<Metrics> out;
+    out.reserve(with_pf.size());
+    for (std::size_t i = 0; i < with_pf.size(); ++i) {
+        if (with_pf[i].instrs_begin != baseline[i].instrs_begin ||
+            with_pf[i].instrs_end != baseline[i].instrs_end)
+            throw std::invalid_argument(
+                "computeWindowedMetrics: window " + std::to_string(i) +
+                " boundaries differ between run and baseline");
+        out.push_back(computeMetrics(with_pf[i], baseline[i]));
+    }
+    return out;
 }
 
 } // namespace pythia::harness

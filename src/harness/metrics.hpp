@@ -7,9 +7,22 @@
  *   Overprediction_X = (LLCreadmiss_X - LLCreadmiss_nopref)
  *                     / LLCreadmiss_nopref
  * all measured at the LLC - main-memory boundary.
+ *
+ * Zero-denominator conventions (pinned by tests/test_session.cpp):
+ *   - speedup: 1.0 when the baseline geomean IPC is 0 (an empty or
+ *     degenerate baseline neither speeds up nor slows down a run).
+ *   - coverage: 0.0 when the baseline had no demand load misses —
+ *     there was nothing to cover.
+ *   - overprediction: 0.0 when the baseline had no read misses, and
+ *     clamped to 0.0 from below when prefetching *reduced* total reads
+ *     (negative overprediction is reported as coverage, not here).
+ *   - accuracy: RunResult::accuracy() — 1.0 when nothing was issued,
+ *     clamped to 1.0 from above (warmup-issued prefetches can turn
+ *     useful inside the measured window).
  */
 #pragma once
 
+#include "harness/timeseries.hpp"
 #include "sim/system.hpp"
 
 namespace pythia::harness {
@@ -26,5 +39,24 @@ struct Metrics
 /** Compute the paper's metrics from a prefetched and a baseline run. */
 Metrics computeMetrics(const sim::RunResult& with_pf,
                        const sim::RunResult& baseline) noexcept;
+
+/**
+ * Windowed overload: the paper's metrics for ONE streamed window,
+ * computed delta-against-delta from a prefetched and a baseline sample
+ * taken over the same instruction window (see
+ * Runner::evaluateWindowed, which aligns the two series). The
+ * zero-denominator conventions above apply per window — e.g. a window
+ * in which the baseline happened to miss nothing reports coverage 0.
+ */
+Metrics computeMetrics(const WindowSample& with_pf,
+                       const WindowSample& baseline) noexcept;
+
+/**
+ * Per-window metric trajectory of a full streamed run: element i is
+ * computeMetrics(run[i], baseline[i]). Throws std::invalid_argument
+ * when the two series' window boundaries do not align.
+ */
+std::vector<Metrics> computeWindowedMetrics(const TimeSeries& with_pf,
+                                            const TimeSeries& baseline);
 
 } // namespace pythia::harness

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/hashing.hpp"
+#include "harness/session.hpp"
 #include "sim/prefetcher_registry.hpp"
 #include "workloads/suites.hpp"
 
@@ -12,20 +13,17 @@ namespace pythia::harness {
 
 namespace {
 
-/** Resolve a spec through the registry, plus the one construction the
- *  registry cannot express: "pythia_custom" with an explicit config
- *  object (features and action lists are not spec-string encodable). */
-std::unique_ptr<sim::PrefetcherApi>
-buildPrefetcher(const std::string& spec,
-                const std::optional<rl::PythiaConfig>& custom)
+/** Stream one session over @p window_ends, recording every window. */
+TimeSeries
+streamSeries(const ExperimentSpec& spec,
+             const std::vector<std::uint64_t>& window_ends)
 {
-    if (spec == "pythia_custom") {
-        if (!custom)
-            throw std::invalid_argument(
-                "pythia_custom requires an explicit PythiaConfig");
-        return std::make_unique<rl::PythiaPrefetcher>(*custom);
-    }
-    return sim::makePrefetcher(spec);
+    TimeSeries series;
+    SimSession session(spec);
+    session.addObserver(&series);
+    for (std::uint64_t end : window_ends)
+        session.advance(end - session.instrsAdvanced());
+    return series;
 }
 
 } // namespace
@@ -76,15 +74,7 @@ workloadsFor(const ExperimentSpec& spec)
 sim::RunResult
 simulate(const ExperimentSpec& spec)
 {
-    sim::System system(systemConfigFor(spec), workloadsFor(spec));
-    for (std::uint32_t c = 0; c < spec.num_cores; ++c) {
-        if (auto l2 = buildPrefetcher(spec.prefetcher, spec.pythia_cfg))
-            system.attachL2Prefetcher(c, std::move(l2));
-        if (auto l1 = buildPrefetcher(spec.l1_prefetcher, std::nullopt))
-            system.attachL1Prefetcher(c, std::move(l1));
-    }
-    system.warmup(spec.warmup_instrs);
-    return system.run(spec.sim_instrs);
+    return SimSession(spec).runToCompletion();
 }
 
 std::string
@@ -153,6 +143,74 @@ Runner::evaluate(const ExperimentSpec& spec)
                   ? out.baseline
                   : simulate(spec);
     out.metrics = computeMetrics(out.run, out.baseline);
+    return out;
+}
+
+Runner::WindowedOutcome
+Runner::evaluateWindowed(const ExperimentSpec& spec,
+                         const std::vector<std::uint64_t>& window_ends)
+{
+    if (window_ends.empty())
+        throw std::invalid_argument(
+            "evaluateWindowed: window_ends must not be empty");
+    std::uint64_t prev = 0;
+    for (std::uint64_t end : window_ends) {
+        if (end <= prev)
+            throw std::invalid_argument(
+                "evaluateWindowed: window_ends must be strictly "
+                "increasing and non-zero");
+        prev = end;
+    }
+    if (window_ends.back() != spec.sim_instrs)
+        throw std::invalid_argument(
+            "evaluateWindowed: last window end (" +
+            std::to_string(window_ends.back()) +
+            ") must equal spec.sim_instrs (" +
+            std::to_string(spec.sim_instrs) + ")");
+
+    // Windowed-baseline cache key: the batch baseline key plus the
+    // boundary list (a different window split is a different series).
+    std::ostringstream key_os;
+    key_os << baselineKey(spec);
+    for (std::uint64_t end : window_ends)
+        key_os << '\x1f' << end;
+    const std::string key = key_os.str();
+
+    // Same per-key once-semantics as the batch baseline cache.
+    std::shared_future<TimeSeries> future;
+    std::promise<TimeSeries> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = windowed_baselines_.find(key);
+        if (it == windowed_baselines_.end()) {
+            future = promise.get_future().share();
+            windowed_baselines_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            ExperimentSpec base = spec;
+            base.prefetcher = "none";
+            base.l1_prefetcher = "none";
+            base.pythia_cfg.reset();
+            promise.set_value(streamSeries(base, window_ends));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+
+    WindowedOutcome out;
+    out.baseline = future.get();
+    out.run = (spec.prefetcher == "none" && spec.l1_prefetcher == "none")
+                  ? out.baseline
+                  : streamSeries(spec, window_ends);
+    out.final.run = out.run.finalResult();
+    out.final.baseline = out.baseline.finalResult();
+    out.final.metrics = computeMetrics(out.final.run, out.final.baseline);
     return out;
 }
 

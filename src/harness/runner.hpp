@@ -22,33 +22,11 @@
 
 #include "core/configs.hpp"
 #include "harness/metrics.hpp"
+#include "harness/spec.hpp"
+#include "harness/timeseries.hpp"
 #include "sim/system.hpp"
 
 namespace pythia::harness {
-
-/**
- * Everything that defines one simulation run. Prefetchers are named by
- * registry spec strings (sim/prefetcher_registry.hpp) — parameterized
- * ("spp:max_lookahead=4", "pythia:gamma=0.5") and composed
- * ("stride+spp+bingo") specs included. Usually built through the fluent
- * ExperimentBuilder (harness/experiment.hpp).
- */
-struct ExperimentSpec
-{
-    std::string workload;            ///< catalog name (ignored if mix set)
-    std::vector<std::string> mix;    ///< heterogeneous multi-core mix
-    std::string prefetcher = "none"; ///< L2 prefetcher spec
-    std::string l1_prefetcher = "none"; ///< L1 prefetcher spec (multi-level)
-    std::uint32_t num_cores = 1;
-    std::uint32_t mtps = 2400;
-    std::uint64_t llc_bytes_per_core = 2ull << 20;
-    std::uint64_t warmup_instrs = 100'000;
-    std::uint64_t sim_instrs = 300'000;
-    std::uint64_t workload_seed = 0;  ///< 0 = catalog default
-    /** Optional explicit Pythia configuration; used when prefetcher is
-     *  "pythia_custom". */
-    std::optional<rl::PythiaConfig> pythia_cfg;
-};
 
 /**
  * All prefetcher names the harness accepts (excluding "none" and the
@@ -66,7 +44,14 @@ sim::SystemConfig systemConfigFor(const ExperimentSpec& spec);
 std::vector<std::unique_ptr<wl::Workload>>
 workloadsFor(const ExperimentSpec& spec);
 
-/** Run one experiment end to end (construct, warm up, measure). */
+/**
+ * Run one experiment end to end (construct, warm up, measure).
+ *
+ * Thin wrapper over the streaming API: opens a SimSession
+ * (harness/session.hpp) and spends the whole sim_instrs budget in one
+ * window, which is bit-identical to the historical batch loop — the
+ * golden-metrics suite pins exactly this path.
+ */
 sim::RunResult simulate(const ExperimentSpec& spec);
 
 /**
@@ -91,14 +76,49 @@ class Runner
         Metrics metrics;
     };
 
+    /**
+     * Windowed evaluation: the prefetched run and its baseline both
+     * execute as streamed sessions over the same window boundaries.
+     */
+    struct WindowedOutcome
+    {
+        TimeSeries run;      ///< per-window samples of the prefetched run
+        TimeSeries baseline; ///< aligned samples of the no-pf baseline
+        Outcome final;       ///< cumulative run/baseline + paper metrics
+    };
+
     /** Evaluate @p spec against its cached no-prefetching baseline. */
     Outcome evaluate(const ExperimentSpec& spec);
+
+    /**
+     * Evaluate @p spec as a streamed session observed at
+     * @p window_ends — strictly increasing cumulative measured-instr
+     * boundaries whose last entry must equal spec.sim_instrs (throws
+     * std::invalid_argument otherwise). The matching no-prefetching
+     * baseline is streamed over the same boundaries and cached per
+     * (baseline key, boundaries) with the same once-semantics as
+     * evaluate()'s batch cache, so suite-wide windowed sweeps pay for
+     * each baseline series exactly once. Thread-safe.
+     *
+     * With a single boundary {spec.sim_instrs} this degenerates to
+     * evaluate(): final run/baseline/metrics are bit-identical.
+     */
+    WindowedOutcome evaluateWindowed(
+        const ExperimentSpec& spec,
+        const std::vector<std::uint64_t>& window_ends);
 
     /** Number of baseline simulations performed (or claimed) so far. */
     std::size_t baselinesComputed() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
         return baselines_.size();
+    }
+
+    /** Number of windowed baseline series computed (or claimed). */
+    std::size_t windowedBaselinesComputed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return windowed_baselines_.size();
     }
 
     /**
@@ -111,6 +131,8 @@ class Runner
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_future<sim::RunResult>> baselines_;
+    std::map<std::string, std::shared_future<TimeSeries>>
+        windowed_baselines_;
 };
 
 } // namespace pythia::harness

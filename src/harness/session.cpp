@@ -1,0 +1,258 @@
+#include "harness/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+#include "sim/prefetcher_registry.hpp"
+
+namespace pythia::harness {
+
+namespace {
+
+/** Resolve a spec through the registry, plus the one construction the
+ *  registry cannot express: "pythia_custom" with an explicit config
+ *  object (features and action lists are not spec-string encodable). */
+std::unique_ptr<sim::PrefetcherApi>
+buildPrefetcher(const std::string& spec,
+                const std::optional<rl::PythiaConfig>& custom)
+{
+    if (spec == "pythia_custom") {
+        if (!custom)
+            throw std::invalid_argument(
+                "pythia_custom requires an explicit PythiaConfig");
+        return std::make_unique<rl::PythiaPrefetcher>(*custom);
+    }
+    return sim::makePrefetcher(spec);
+}
+
+std::uint64_t
+at(const std::vector<std::uint64_t>& v, std::size_t i)
+{
+    return i < v.size() ? v[i] : 0;
+}
+
+} // namespace
+
+// -------------------------------------------------------- window algebra
+
+sim::RunResult
+windowDelta(const sim::RunResult& now, const sim::RunResult& prev)
+{
+    sim::RunResult d;
+    d.instructions = now.instructions - prev.instructions;
+    d.llc_demand_load_misses =
+        now.llc_demand_load_misses - prev.llc_demand_load_misses;
+    d.llc_read_misses = now.llc_read_misses - prev.llc_read_misses;
+    d.prefetch_issued = now.prefetch_issued - prev.prefetch_issued;
+    d.prefetch_useful = now.prefetch_useful - prev.prefetch_useful;
+    d.prefetch_useless = now.prefetch_useless - prev.prefetch_useless;
+    d.prefetch_late = now.prefetch_late - prev.prefetch_late;
+
+    const std::size_t cores = now.core_cycles.size();
+    d.core_cycles.resize(cores);
+    d.ipc.resize(cores);
+    std::vector<double> ipcs;
+    ipcs.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        d.core_cycles[c] = now.core_cycles[c] - at(prev.core_cycles, c);
+        const double cycles = static_cast<double>(d.core_cycles[c]);
+        const double ipc =
+            cycles > 0 ? static_cast<double>(d.instructions) / cycles
+                       : 0.0;
+        d.ipc[c] = ipc;
+        ipcs.push_back(std::max(ipc, 1e-9));
+    }
+    d.ipc_geomean = cores > 0 ? geomean(ipcs) : 0.0;
+
+    const std::size_t buckets = now.dram_bucket_epochs.size();
+    d.dram_bucket_epochs.resize(buckets);
+    std::uint64_t total_epochs = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+        d.dram_bucket_epochs[b] =
+            now.dram_bucket_epochs[b] - at(prev.dram_bucket_epochs, b);
+        total_epochs += d.dram_bucket_epochs[b];
+    }
+    d.dram_buckets.assign(buckets, 0.0);
+    if (total_epochs > 0)
+        for (std::size_t b = 0; b < buckets; ++b)
+            d.dram_buckets[b] =
+                static_cast<double>(d.dram_bucket_epochs[b]) /
+                static_cast<double>(total_epochs);
+    // The utilization EWMA is a point sample, not a counter: a delta
+    // carries the reading at its own window end.
+    d.dram_utilization = now.dram_utilization;
+    return d;
+}
+
+void
+accumulateDelta(sim::RunResult& acc, const sim::RunResult& delta)
+{
+    acc.instructions += delta.instructions;
+    acc.llc_demand_load_misses += delta.llc_demand_load_misses;
+    acc.llc_read_misses += delta.llc_read_misses;
+    acc.prefetch_issued += delta.prefetch_issued;
+    acc.prefetch_useful += delta.prefetch_useful;
+    acc.prefetch_useless += delta.prefetch_useless;
+    acc.prefetch_late += delta.prefetch_late;
+
+    const std::size_t cores = delta.core_cycles.size();
+    acc.core_cycles.resize(std::max(acc.core_cycles.size(), cores), 0);
+    for (std::size_t c = 0; c < cores; ++c)
+        acc.core_cycles[c] += delta.core_cycles[c];
+    acc.ipc.assign(acc.core_cycles.size(), 0.0);
+    std::vector<double> ipcs;
+    ipcs.reserve(acc.core_cycles.size());
+    for (std::size_t c = 0; c < acc.core_cycles.size(); ++c) {
+        const double cycles = static_cast<double>(acc.core_cycles[c]);
+        const double ipc =
+            cycles > 0 ? static_cast<double>(acc.instructions) / cycles
+                       : 0.0;
+        acc.ipc[c] = ipc;
+        ipcs.push_back(std::max(ipc, 1e-9));
+    }
+    acc.ipc_geomean = acc.core_cycles.empty() ? 0.0 : geomean(ipcs);
+
+    const std::size_t buckets = delta.dram_bucket_epochs.size();
+    acc.dram_bucket_epochs.resize(
+        std::max(acc.dram_bucket_epochs.size(), buckets), 0);
+    std::uint64_t total_epochs = 0;
+    for (std::size_t b = 0; b < acc.dram_bucket_epochs.size(); ++b) {
+        if (b < buckets)
+            acc.dram_bucket_epochs[b] += delta.dram_bucket_epochs[b];
+        total_epochs += acc.dram_bucket_epochs[b];
+    }
+    acc.dram_buckets.assign(acc.dram_bucket_epochs.size(), 0.0);
+    if (total_epochs > 0)
+        for (std::size_t b = 0; b < acc.dram_bucket_epochs.size(); ++b)
+            acc.dram_buckets[b] =
+                static_cast<double>(acc.dram_bucket_epochs[b]) /
+                static_cast<double>(total_epochs);
+    acc.dram_utilization = delta.dram_utilization;
+}
+
+sim::RunResult
+composeDeltas(const std::vector<sim::RunResult>& deltas)
+{
+    sim::RunResult acc;
+    for (const sim::RunResult& d : deltas)
+        accumulateDelta(acc, d);
+    return acc;
+}
+
+// ------------------------------------------------------------ SimSession
+
+SimSession::SimSession(ExperimentSpec spec) : spec_(std::move(spec))
+{
+    system_ = std::make_unique<sim::System>(systemConfigFor(spec_),
+                                            workloadsFor(spec_));
+    for (std::uint32_t c = 0; c < spec_.num_cores; ++c) {
+        if (auto l2 = buildPrefetcher(spec_.prefetcher, spec_.pythia_cfg))
+            system_->attachL2Prefetcher(c, std::move(l2));
+        if (auto l1 = buildPrefetcher(spec_.l1_prefetcher, std::nullopt))
+            system_->attachL1Prefetcher(c, std::move(l1));
+    }
+}
+
+void
+SimSession::addObserver(SessionObserver* observer)
+{
+    if (observer)
+        observers_.push_back(observer);
+}
+
+void
+SimSession::addObserver(std::shared_ptr<SessionObserver> observer)
+{
+    if (!observer)
+        return;
+    observers_.push_back(observer.get());
+    owned_observers_.push_back(std::move(observer));
+}
+
+void
+SimSession::runWarmup()
+{
+    if (warmup_done_)
+        return;
+    system_->warmup(spec_.warmup_instrs);
+    warmup_done_ = true;
+    for (SessionObserver* o : observers_)
+        o->onWarmupEnd(*this);
+}
+
+std::uint64_t
+SimSession::advance(std::uint64_t n_instrs)
+{
+    if (!warmup_done_)
+        runWarmup();
+    const std::uint64_t step = std::min(n_instrs, instrsRemaining());
+    if (step == 0)
+        return 0;
+    if (advanced_ == 0)
+        system_->beginMeasurement();
+
+    WindowSample sample;
+    sample.index = windows_completed_;
+    sample.instrs_begin = advanced_;
+    advanced_ += step;
+    sample.instrs_end = advanced_;
+    system_->stepMeasuredTo(advanced_);
+    sample.cumulative = system_->collectResult();
+    sample.delta = windowDelta(sample.cumulative, cumulative_);
+
+    cumulative_ = sample.cumulative;
+    last_ = sample;
+    has_window_ = true;
+    ++windows_completed_;
+
+    for (SessionObserver* o : observers_)
+        o->onWindowEnd(*this, last_);
+    if (done())
+        notifyRunEndOnce();
+    return step;
+}
+
+sim::RunResult
+SimSession::runToCompletion()
+{
+    if (!warmup_done_)
+        runWarmup();
+    if (!done())
+        advance(instrsRemaining());
+    else
+        notifyRunEndOnce(); // zero-budget or already-finished session
+    return cumulative_;
+}
+
+SimSession::Snapshot
+SimSession::snapshot() const
+{
+    Snapshot snap;
+    snap.cumulative = cumulative_;
+    snap.last_window = last_;
+    snap.windows = windows_completed_;
+    return snap;
+}
+
+const WindowSample&
+SimSession::lastWindow() const
+{
+    if (!has_window_)
+        throw std::logic_error(
+            "SimSession::lastWindow(): no window advanced yet");
+    return last_;
+}
+
+void
+SimSession::notifyRunEndOnce()
+{
+    if (run_ended_)
+        return;
+    run_ended_ = true;
+    for (SessionObserver* o : observers_)
+        o->onRunEnd(*this, cumulative_);
+}
+
+} // namespace pythia::harness

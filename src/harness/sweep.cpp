@@ -19,6 +19,21 @@ Sweep::add(ExperimentSpec spec, JobCallback on_done)
 {
     const JobId id = specs_.size();
     specs_.push_back(std::move(spec));
+    tasks_.emplace_back();
+    Action a;
+    a.is_job = true;
+    a.job = id;
+    a.on_job = std::move(on_done);
+    actions_.push_back(std::move(a));
+    return id;
+}
+
+Sweep::JobId
+Sweep::addTask(TaskFn task, JobCallback on_done)
+{
+    const JobId id = specs_.size();
+    specs_.emplace_back();
+    tasks_.push_back(std::move(task));
     Action a;
     a.is_job = true;
     a.job = id;
@@ -85,7 +100,8 @@ ParallelRunner::run(Runner& runner, const Sweep& sweep)
     std::vector<double> job_seconds(n, 0.0);
     const auto timed_evaluate = [&](std::size_t i) {
         const auto js = std::chrono::steady_clock::now();
-        results[i] = runner.evaluate(sweep.specs_[i]);
+        results[i] = sweep.tasks_[i] ? sweep.tasks_[i](runner)
+                                     : runner.evaluate(sweep.specs_[i]);
         job_seconds[i] = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - js)
                              .count();

@@ -55,9 +55,22 @@ class Sweep
     using JobId = std::size_t;
     /** Invoked with the job's outcome during the ordered replay. */
     using JobCallback = std::function<void(const Runner::Outcome&)>;
+    /** A custom job body, executed on a worker thread. */
+    using TaskFn = std::function<Runner::Outcome(Runner&)>;
 
     /** Append one experiment; @p on_done may be empty. */
     JobId add(ExperimentSpec spec, JobCallback on_done = {});
+
+    /**
+     * Append a custom job: @p task runs on a worker thread with the
+     * shared Runner and its returned Outcome lands in the results slot
+     * like any other job's. This is how session-shaped work (e.g.
+     * Runner::evaluateWindowed streaming one cell of bench_fig23) rides
+     * the same pool, ordered replay and perf accounting as plain spec
+     * jobs. The task must confine side effects to state the callback
+     * reads afterwards (the replay is ordered; the execution is not).
+     */
+    JobId addTask(TaskFn task, JobCallback on_done = {});
 
     /** Append the builder's accumulated spec; @p on_done may be empty. */
     JobId add(const ExperimentBuilder& exp, JobCallback on_done = {})
@@ -93,7 +106,8 @@ class Sweep
 
     bool empty() const { return specs_.empty(); }
 
-    /** Spec of job @p id (declaration order). */
+    /** Spec of job @p id (declaration order; a default-constructed spec
+     *  for addTask() jobs, which carry their work in the task body). */
     const ExperimentSpec& spec(JobId id) const { return specs_.at(id); }
 
   private:
@@ -109,6 +123,7 @@ class Sweep
     };
 
     std::vector<ExperimentSpec> specs_;
+    std::vector<TaskFn> tasks_; ///< parallel to specs_; empty = spec job
     std::vector<Action> actions_;
 };
 

@@ -84,6 +84,15 @@ class Dram : public BandwidthInfo
      */
     std::vector<double> utilizationBuckets() const;
 
+    /** Raw epoch counts behind utilizationBuckets(). Unlike the
+     *  normalized fractions these subtract and add cleanly, which is
+     *  what makes per-window RunResult deltas composable. */
+    std::vector<std::uint64_t> bucketEpochCounts() const
+    {
+        return {bucket_epochs_[0], bucket_epochs_[1], bucket_epochs_[2],
+                bucket_epochs_[3]};
+    }
+
     /** Reset statistics and the bucket histogram (keeps device state). */
     void resetStats();
 

@@ -145,22 +145,42 @@ System::warmup(std::uint64_t instrs_per_core)
     }
 }
 
-RunResult
-System::run(std::uint64_t instrs_per_core)
+void
+System::beginMeasurement()
 {
-    assert(instrs_per_core > 0);
     resetAllStats();
+    measuring_ = true;
+    measured_instrs_ = 0;
+    measured_cycles_.assign(cfg_.num_cores, 0);
+    measure_origin_.resize(cfg_.num_cores);
+    for (std::uint32_t c = 0; c < cfg_.num_cores; ++c)
+        measure_origin_[c] = cores_[c]->instrsRetired();
+}
 
-    std::vector<std::uint64_t> start_instr(cfg_.num_cores);
+void
+System::stepMeasuredTo(std::uint64_t nominal_cumulative)
+{
+    assert(measuring_);
+    assert(nominal_cumulative > measured_instrs_);
+
+    std::vector<std::uint64_t> target(cfg_.num_cores);
     std::vector<Cycle> start_cycle(cfg_.num_cores);
     std::vector<Cycle> done_cycle(cfg_.num_cores, 0);
     std::vector<bool> done(cfg_.num_cores, false);
+    std::uint32_t n_done = 0;
     for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
-        start_instr[c] = cores_[c]->instrsRetired();
+        target[c] = measure_origin_[c] + nominal_cumulative;
         start_cycle[c] = cores_[c]->currentCycle();
+        // A core that overshot past this window's whole budget at the
+        // previous boundary contributes zero cycles (it cannot happen
+        // on the first window: targets start above the origin).
+        if (cores_[c]->instrsRetired() >= target[c]) {
+            done[c] = true;
+            done_cycle[c] = start_cycle[c];
+            ++n_done;
+        }
     }
 
-    std::uint32_t n_done = 0;
     Cycle horizon = cfg_.quantum;
     // Interleave cores in quanta so the shared LLC/DRAM see a realistic
     // blend of request timestamps; cores that finish their budget keep
@@ -173,8 +193,7 @@ System::run(std::uint64_t instrs_per_core)
                                          core.currentCycle() + 1);
             while (core.currentCycle() < until) {
                 core.runUntil(core.currentCycle() + 1);
-                if (!done[c] && core.instrsRetired() >=
-                                    start_instr[c] + instrs_per_core) {
+                if (!done[c] && core.instrsRetired() >= target[c]) {
                     done[c] = true;
                     done_cycle[c] = core.currentCycle();
                     ++n_done;
@@ -185,14 +204,24 @@ System::run(std::uint64_t instrs_per_core)
         horizon += cfg_.quantum;
     }
 
+    for (std::uint32_t c = 0; c < cfg_.num_cores; ++c)
+        measured_cycles_[c] += done_cycle[c] - start_cycle[c];
+    measured_instrs_ = nominal_cumulative;
+}
+
+RunResult
+System::collectResult() const
+{
+    assert(measuring_);
     RunResult res;
-    res.instructions = instrs_per_core;
+    res.instructions = measured_instrs_;
+    res.core_cycles = measured_cycles_;
     std::vector<double> ipcs;
     for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
-        const double cycles =
-            static_cast<double>(done_cycle[c] - start_cycle[c]);
+        const double cycles = static_cast<double>(measured_cycles_[c]);
         const double ipc =
-            cycles > 0 ? static_cast<double>(instrs_per_core) / cycles : 0.0;
+            cycles > 0 ? static_cast<double>(measured_instrs_) / cycles
+                       : 0.0;
         res.ipc.push_back(ipc);
         ipcs.push_back(std::max(ipc, 1e-9));
     }
@@ -222,7 +251,17 @@ System::run(std::uint64_t instrs_per_core)
     }
     res.dram_buckets = dram_->utilizationBuckets();
     res.dram_utilization = dram_->utilization();
+    res.dram_bucket_epochs = dram_->bucketEpochCounts();
     return res;
+}
+
+RunResult
+System::run(std::uint64_t instrs_per_core)
+{
+    assert(instrs_per_core > 0);
+    beginMeasurement();
+    stepMeasuredTo(instrs_per_core);
+    return collectResult();
 }
 
 } // namespace pythia::sim

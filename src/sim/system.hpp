@@ -43,7 +43,13 @@ struct SystemConfig
     void applyPaperChannelScaling();
 };
 
-/** Metrics of one measured simulation window. */
+/**
+ * Metrics of one measured simulation window — either a full run, the
+ * cumulative state of a streamed session, or a single window's delta
+ * (see harness/session.hpp for the window algebra: deltas carry the raw
+ * per-core cycle and DRAM-epoch counts so that composing them
+ * reproduces the cumulative result bit-exactly).
+ */
 struct RunResult
 {
     std::vector<double> ipc;             ///< per-core IPC
@@ -57,8 +63,22 @@ struct RunResult
     std::uint64_t prefetch_late = 0;
     std::vector<double> dram_buckets;    ///< Fig.14 utilization buckets
     double dram_utilization = 0.0;
+    /** Measured cycles per core (the denominator behind ipc[]). */
+    std::vector<std::uint64_t> core_cycles;
+    /** Raw epoch counts behind dram_buckets (composable, unlike the
+     *  normalized fractions). */
+    std::vector<std::uint64_t> dram_bucket_epochs;
 
-    /** Prefetch accuracy = useful / issued (1.0 when nothing issued). */
+    /**
+     * Prefetch accuracy = useful / issued.
+     *
+     * Zero-denominator convention: 1.0 when nothing was issued — a
+     * prefetcher that stayed silent made no mispredictions, and sweeps
+     * geomean accuracies so 0.0 would poison the aggregate. The ratio
+     * is also clamped to 1.0 from above: prefetches issued during
+     * warmup (or a previous window) can become useful inside this one,
+     * so useful may exceed issued in a windowed reading.
+     */
     double accuracy() const;
 };
 
@@ -87,8 +107,43 @@ class System
     /** Run @p instrs_per_core instructions per core without measuring. */
     void warmup(std::uint64_t instrs_per_core);
 
-    /** Measure a window of @p instrs_per_core instructions per core. */
+    /**
+     * Measure a window of @p instrs_per_core instructions per core.
+     * Exactly beginMeasurement() + stepMeasuredTo() + collectResult() —
+     * the monolithic run loop of the batch era is gone, so a streamed
+     * session that advances the same budget in one step is bit-identical
+     * to this call by construction.
+     */
     RunResult run(std::uint64_t instrs_per_core);
+
+    /**
+     * Start (or restart) a measurement: resets every statistic,
+     * captures each core's retirement count as the measurement origin
+     * and clears the per-core measured-cycle accumulators. Subsequent
+     * stepMeasuredTo() windows accrue into one cumulative result.
+     */
+    void beginMeasurement();
+
+    /**
+     * Advance every core to @p nominal_cumulative measured instructions
+     * since beginMeasurement() (one window; must exceed the previous
+     * target). Targets are absolute — core c runs until its retirement
+     * count reaches origin_c + nominal_cumulative — so superscalar
+     * overshoot at one window boundary does not shift later boundaries:
+     * a single-core measurement cut into any window partition retires
+     * through the exact same machine states as one big window. Cores
+     * that hit the target keep running (trace replay) until every core
+     * has — those wait cycles are excluded from the finished cores'
+     * measured cycles, exactly as the batch loop excluded its tail.
+     */
+    void stepMeasuredTo(std::uint64_t nominal_cumulative);
+
+    /** Cumulative RunResult since beginMeasurement() (counter snapshot:
+     *  cheap, callable after every window). */
+    RunResult collectResult() const;
+
+    /** Measured instructions per core since beginMeasurement(). */
+    std::uint64_t measuredInstrs() const { return measured_instrs_; }
 
     Dram& dram() { return *dram_; }
     Cache& llc() { return *llc_; }
@@ -100,6 +155,11 @@ class System
 
   private:
     void resetAllStats();
+
+    bool measuring_ = false;
+    std::uint64_t measured_instrs_ = 0;          ///< nominal cumulative
+    std::vector<std::uint64_t> measure_origin_;  ///< retired at begin
+    std::vector<std::uint64_t> measured_cycles_; ///< per core
 
     SystemConfig cfg_;
     std::vector<std::unique_ptr<wl::Workload>> workloads_;

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Perf regression gate over pythia-perf-v1 artifacts (DESIGN.md §7).
+
+Usage: perf_gate.py <baseline.json> <current.json>
+
+Compares total.sims_per_sec of a freshly measured artifact against the
+committed baseline and exits non-zero when the current throughput falls
+more than PERF_GATE_THRESHOLD (default 0.30, i.e. >30% regression)
+below the baseline. Improvements and small fluctuations pass; a passing
+run prints both numbers so the CI log doubles as the perf trajectory.
+
+The committed baseline was measured on a developer machine; CI runners
+differ, so the threshold is deliberately loose — it exists to catch
+order-of-magnitude regressions (an accidentally quadratic loop, a lost
+optimization flag), not single-digit drift. Tune via the
+PERF_GATE_THRESHOLD environment variable (0.0-1.0).
+"""
+
+import json
+import os
+import sys
+
+
+def load_sims_per_sec(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "pythia-perf-v1":
+        sys.exit(f"perf_gate: {path}: unexpected schema "
+                 f"{doc.get('schema')!r} (want pythia-perf-v1)")
+    try:
+        value = float(doc["total"]["sims_per_sec"])
+    except (KeyError, TypeError, ValueError):
+        sys.exit(f"perf_gate: {path}: missing total.sims_per_sec")
+    if value <= 0:
+        sys.exit(f"perf_gate: {path}: non-positive sims_per_sec {value}")
+    return value
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} <baseline.json> <current.json>")
+    threshold = float(os.environ.get("PERF_GATE_THRESHOLD", "0.30"))
+    if not 0.0 <= threshold <= 1.0:
+        sys.exit(f"perf_gate: PERF_GATE_THRESHOLD {threshold} outside "
+                 "[0, 1]")
+    baseline = load_sims_per_sec(argv[1])
+    current = load_sims_per_sec(argv[2])
+    floor = baseline * (1.0 - threshold)
+    ratio = current / baseline
+    line = (f"perf_gate: baseline {baseline:.2f} sims/s, "
+            f"current {current:.2f} sims/s ({ratio:.2f}x), "
+            f"floor {floor:.2f} (threshold {threshold:.0%})")
+    if current < floor:
+        sys.exit(line + " — REGRESSION, failing the gate")
+    print(line + " — ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
