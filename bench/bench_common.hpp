@@ -134,6 +134,90 @@ runSweep(harness::Sweep& sweep, harness::Runner& runner,
     return outcomes;
 }
 
+/** Strict-CLI key of the workload-override flag:
+ *  workload=<spec>[;<spec>...] replaces a bench's default workload
+ *  list. Each entry is a workload spec (workloads/suites.hpp) —
+ *  catalog name or registry spec string; ';' separates entries because
+ *  ',' belongs to spec parameters. */
+inline const std::vector<std::string>&
+workloadFlagKeys()
+{
+    static const std::vector<std::string> keys = {"workload"};
+    return keys;
+}
+
+/** Concatenate strict-CLI key lists (for benches combining the
+ *  workload flag with e.g. sessionFlagKeys()). */
+inline std::vector<std::string>
+joinFlagKeys(const std::vector<std::string>& a,
+             const std::vector<std::string>& b)
+{
+    std::vector<std::string> out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+}
+
+/**
+ * The bench's workload list: the parsed workload= override when given,
+ * else @p defaults. Every override entry is validated up front by
+ * instantiating it once, so a typo terminates the bench with the
+ * registry's "did you mean" diagnostics instead of failing mid-sweep.
+ */
+inline std::vector<std::string>
+workloadsOrDefault(const BenchOptions& opt,
+                   std::vector<std::string> defaults)
+{
+    const std::string value = opt.cli.getString("workload", "");
+    if (value.empty())
+        return defaults;
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= value.size(); ++i) {
+        if (i < value.size() && value[i] != ';')
+            continue;
+        std::string w = value.substr(start, i - start);
+        start = i + 1;
+        const auto b = w.find_first_not_of(" \t");
+        const auto e = w.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        out.push_back(w.substr(b, e - b + 1));
+    }
+    if (out.empty()) {
+        std::cerr << "bench: workload= needs at least one spec\n";
+        std::exit(2);
+    }
+    for (const auto& w : out) {
+        try {
+            (void)wl::makeWorkload(w);
+        } catch (const std::exception& ex) {
+            std::cerr << "bench: workload=: " << ex.what() << "\n";
+            std::exit(2);
+        }
+    }
+    return out;
+}
+
+/** Suite-grouped catalog names (suiteNames() x suiteWorkloads()) for
+ *  the per-suite benches, or — when workload= is set — a single
+ *  "custom" group holding exactly the override specs. */
+inline std::vector<std::pair<std::string, std::vector<std::string>>>
+suiteGroupsOrCustom(const BenchOptions& opt)
+{
+    std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+    if (!opt.cli.getString("workload", "").empty()) {
+        groups.emplace_back("custom", workloadsOrDefault(opt, {}));
+        return groups;
+    }
+    for (const auto& suite : wl::suiteNames()) {
+        std::vector<std::string> names;
+        for (const auto* w : wl::suiteWorkloads(suite))
+            names.push_back(w->name);
+        groups.emplace_back(suite, std::move(names));
+    }
+    return groups;
+}
+
 /** Strict-CLI keys of the streaming-session benches: windows=<n>
  *  (uniform window count), window_instrs=<n> (uniform window stride)
  *  and series_out=<path> (combined per-window CSV). */

@@ -13,11 +13,12 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
 
-    const std::vector<std::string> workloads = {
-        "482.sphinx3-417B", "PARSEC-Canneal",  "PARSEC-Facesim",
-        "459.GemsFDTD-765B", "Ligra-CC",       "Ligra-PageRankDelta"};
+    const std::vector<std::string> workloads = bench::workloadsOrDefault(
+        opt, {"482.sphinx3-417B", "PARSEC-Canneal", "PARSEC-Facesim",
+              "459.GemsFDTD-765B", "Ligra-CC", "Ligra-PageRankDelta"});
     const std::vector<std::string> prefetchers = {"spp", "bingo",
                                                   "pythia"};
 

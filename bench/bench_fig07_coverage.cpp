@@ -13,9 +13,14 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
+
+    // Suite-grouped rows by default; a workload= override collapses to
+    // one "custom" group over exactly the requested specs.
+    const auto groups = bench::suiteGroupsOrCustom(opt);
 
     harness::Runner runner;
     Table table("Fig.7 — coverage & overprediction per suite (1C)");
@@ -26,7 +31,7 @@ main(int argc, char** argv)
     // aggregates into its row during the ordered replay.
     std::map<std::string, std::vector<harness::Metrics>> all;
     harness::Sweep sweep;
-    for (const auto& suite : wl::suiteNames()) {
+    for (const auto& [suite, names] : groups) {
         for (const auto& pf : prefetchers) {
             struct Acc
             {
@@ -34,8 +39,8 @@ main(int argc, char** argv)
                 int n = 0;
             };
             auto acc = std::make_shared<Acc>();
-            for (const auto* w : wl::suiteWorkloads(suite))
-                sweep.add(bench::exp1c(w->name, pf, opt.sim_scale),
+            for (const auto& w : names)
+                sweep.add(bench::exp1c(w, pf, opt.sim_scale),
                           [&, acc,
                            pf](const harness::Runner::Outcome& o) {
                               acc->cov += o.metrics.coverage;

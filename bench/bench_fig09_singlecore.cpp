@@ -16,9 +16,14 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
+
+    // Suite-grouped rows by default; a workload= override collapses to
+    // one "custom" group (and drives part (b) over the same specs).
+    const auto groups = bench::suiteGroupsOrCustom(opt);
 
     harness::Runner runner;
     Table a("Fig.9(a) — per-suite geomean speedup (1C)");
@@ -29,12 +34,9 @@ main(int argc, char** argv)
 
     std::map<std::string, std::vector<double>> overall;
     harness::Sweep sweep_a;
-    for (const auto& suite : wl::suiteNames()) {
+    for (const auto& [suite, names] : groups) {
         auto row = std::make_shared<std::vector<std::string>>(
             std::vector<std::string>{suite});
-        std::vector<std::string> names;
-        for (const auto* w : wl::suiteWorkloads(suite))
-            names.push_back(w->name);
         for (const auto& pf : prefetchers) {
             auto speedups = std::make_shared<std::vector<double>>();
             for (const auto& w : names)
@@ -60,9 +62,11 @@ main(int argc, char** argv)
 
     Table b("Fig.9(b) — Pythia vs cumulative prefetcher stacks (1C)");
     b.setHeader({"prefetcher", "geomean_speedup", "storage_kb"});
+    // Part (b) sweeps the flattened groups: the whole catalog (group
+    // order matches allWorkloads()) or the already-validated override.
     std::vector<std::string> all_names;
-    for (const auto& w : wl::allWorkloads())
-        all_names.push_back(w.name);
+    for (const auto& [suite, names] : groups)
+        all_names.insert(all_names.end(), names.begin(), names.end());
     harness::Sweep sweep_b;
     for (const char* pf : {"st", "st_s", "st_s_b", "st_s_b_d",
                            "st_s_b_d_m", "pythia"}) {

@@ -13,7 +13,8 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
 
@@ -26,10 +27,15 @@ main(int argc, char** argv)
             header.push_back(pf);
         table.setHeader(header);
 
-        // Group the unseen catalog by its suite tag.
+        // Group the unseen catalog by its suite tag; a workload=
+        // override collapses to one "custom" category.
         std::map<std::string, std::vector<std::string>> groups;
-        for (const auto& w : wl::unseenWorkloads())
-            groups[w.suite].push_back(w.name);
+        if (!opt.cli.getString("workload", "").empty()) {
+            groups["custom"] = bench::workloadsOrDefault(opt, {});
+        } else {
+            for (const auto& w : wl::unseenWorkloads())
+                groups[w.suite].push_back(w.name);
+        }
 
         std::map<std::string, std::vector<double>> overall;
         harness::Sweep sweep;

@@ -13,6 +13,7 @@
 
 #include "core/configs.hpp"
 #include "sim/system.hpp"
+#include "workloads/generators.hpp"
 
 int
 main(int argc, char** argv)

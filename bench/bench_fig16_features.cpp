@@ -18,7 +18,8 @@ main(int argc, char** argv)
     using rl::ControlKind;
     using rl::DataKind;
     using rl::FeatureSpec;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
 
     // Candidate state vectors (a cross-section of the 32-feature space).
     const std::vector<std::vector<FeatureSpec>> candidates = {
@@ -33,6 +34,11 @@ main(int argc, char** argv)
          {ControlKind::None, DataKind::Last4Deltas}},
     };
 
+    std::vector<std::string> workloads;
+    for (const auto* w : wl::suiteWorkloads("SPEC06"))
+        workloads.push_back(w->name);
+    workloads = bench::workloadsOrDefault(opt, std::move(workloads));
+
     harness::Runner runner;
     Table table("Fig.16 — basic vs feature-optimized Pythia (SPEC06)");
     table.setHeader({"workload", "basic", "optimized", "best_features",
@@ -40,7 +46,7 @@ main(int argc, char** argv)
     auto basics = std::make_shared<std::vector<double>>();
     auto opts = std::make_shared<std::vector<double>>();
     harness::Sweep sweep;
-    for (const auto* w : wl::suiteWorkloads("SPEC06")) {
+    for (const auto& w : workloads) {
         struct Best
         {
             double basic = 0.0;
@@ -48,7 +54,7 @@ main(int argc, char** argv)
             std::string best_name = "basic";
         };
         auto acc = std::make_shared<Best>();
-        sweep.add(bench::exp1c(w->name, "pythia", opt.sim_scale),
+        sweep.add(bench::exp1c(w, "pythia", opt.sim_scale),
                   [acc](const harness::Runner::Outcome& o) {
                       acc->basic = o.metrics.speedup;
                       acc->best = o.metrics.speedup;
@@ -59,7 +65,7 @@ main(int argc, char** argv)
             auto cfg = rl::scaledForSimLength(
                 rl::withFeatures(rl::basicPythiaConfig(), features));
             const std::string cfg_name = cfg.name;
-            sweep.add(bench::exp1c(w->name, "pythia", opt.sim_scale)
+            sweep.add(bench::exp1c(w, "pythia", opt.sim_scale)
                           .l2Pythia(cfg),
                       [acc, cfg_name](const harness::Runner::Outcome& o) {
                           if (o.metrics.speedup > acc->best) {
@@ -71,7 +77,7 @@ main(int argc, char** argv)
         sweep.then([&table, basics, opts, acc, w] {
             basics->push_back(std::max(1e-6, acc->basic));
             opts->push_back(std::max(1e-6, acc->best));
-            table.addRow({w->name, Table::fmt(acc->basic),
+            table.addRow({w, Table::fmt(acc->basic),
                           Table::fmt(acc->best), acc->best_name,
                           Table::pct(acc->best / acc->basic - 1.0)});
         });

@@ -27,8 +27,10 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt =
-        bench::parseBenchArgs(argc, argv, bench::sessionFlagKeys());
+    bench::BenchOptions opt = bench::parseBenchArgs(
+        argc, argv,
+        bench::joinFlagKeys(bench::sessionFlagKeys(),
+                            bench::workloadFlagKeys()));
     const bench::SessionOptions sopt = bench::parseSessionFlags(opt);
     const std::vector<std::string> prefetchers = {"spp", "bingo", "mlop",
                                                   "pythia"};
@@ -94,11 +96,20 @@ main(int argc, char** argv)
                                  std::to_string(cores) + "c");
     };
 
+    // Parse and validate the workload= override once; it replaces both
+    // figures' default lists (validation instantiates every entry, so
+    // a trace: spec should not be loaded twice just to re-check it).
+    const bool overridden = !opt.cli.getString("workload", "").empty();
+    std::vector<std::string> override_names;
+    if (overridden)
+        override_names = bench::workloadsOrDefault(opt, {});
+
     std::vector<std::string> all_names;
     for (const auto& w : wl::allWorkloads())
         all_names.push_back(w.name);
-    build(all_names, 1, "17");
-    build(bench::representativeWorkloads(), 4, "18");
+    build(overridden ? override_names : all_names, 1, "17");
+    build(overridden ? override_names : bench::representativeWorkloads(),
+          4, "18");
 
     bench::emitRunSeries(sopt.series_out, "workload,prefetcher,cores",
                          cells);

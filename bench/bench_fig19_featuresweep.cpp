@@ -19,7 +19,8 @@ main(int argc, char** argv)
 {
     using namespace pythia;
     using rl::FeatureSpec;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
 
     // One-feature vectors for every spec, plus two-feature combinations
     // of a representative subset (the full 32x32 sweep is the paper's
@@ -40,7 +41,8 @@ main(int argc, char** argv)
         for (std::size_t j = i + 1; j < pair_pool.size(); ++j)
             vectors.push_back({pair_pool[i], pair_pool[j]});
 
-    const auto& workloads = bench::representativeWorkloads();
+    const std::vector<std::string> workloads =
+        bench::workloadsOrDefault(opt, bench::representativeWorkloads());
     harness::Runner runner;
 
     struct Row

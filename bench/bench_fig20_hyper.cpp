@@ -17,8 +17,10 @@ int
 main(int argc, char** argv)
 {
     using namespace pythia;
-    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
-    const auto& workloads = bench::representativeWorkloads();
+    bench::BenchOptions opt =
+        bench::parseBenchArgs(argc, argv, bench::workloadFlagKeys());
+    const std::vector<std::string> workloads =
+        bench::workloadsOrDefault(opt, bench::representativeWorkloads());
     harness::Runner runner;
 
     // Each hyperparameter value rides a parameterized registry spec

@@ -6,9 +6,14 @@
  * the synthetic substrate.
  *
  * Usage:
- *   trace_tools mode=generate workload=<name> out=<path> [records=N]
+ *   trace_tools mode=generate workload=<spec> out=<path> [records=N]
  *   trace_tools mode=inspect  in=<path>
  *   trace_tools mode=replay   in=<path> [prefetcher=<name>]
+ *
+ * workload= accepts catalog names and registry workload specs alike
+ * ("stream:footprint=256M", "phase:stream@40+graph@60"); see
+ * tools/trace_capture for the strict-CLI capture tool with built-in
+ * replay verification.
  */
 #include <iostream>
 #include <map>

@@ -1,0 +1,155 @@
+#include "common/params.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pythia {
+
+bool
+SpecParams::has(const std::string& key) const
+{
+    return kv_.count(key) != 0;
+}
+
+std::string
+SpecParams::getString(const std::string& key, const std::string& dflt) const
+{
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+void
+SpecParams::badValue(const std::string& key, const std::string& value,
+                     const char* expected) const
+{
+    throw std::invalid_argument(owner_ + ": parameter '" + key +
+                                "' expects " + expected + ", got '" +
+                                value + "'");
+}
+
+std::int64_t
+SpecParams::getInt(const std::string& key, std::int64_t dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        badValue(key, it->second, "an integer");
+    return v;
+}
+
+std::uint32_t
+SpecParams::getU32(const std::string& key, std::uint32_t dflt) const
+{
+    const std::int64_t v = getInt(key, dflt);
+    if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX))
+        badValue(key, kv_.at(key), "a non-negative 32-bit integer");
+    return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t
+SpecParams::getU64(const std::string& key, std::uint64_t dflt) const
+{
+    const std::int64_t v = getInt(key, static_cast<std::int64_t>(dflt));
+    if (v < 0)
+        badValue(key, kv_.at(key), "a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+std::int32_t
+SpecParams::getI32(const std::string& key, std::int32_t dflt) const
+{
+    const std::int64_t v = getInt(key, dflt);
+    if (v < INT32_MIN || v > INT32_MAX)
+        badValue(key, kv_.at(key), "a 32-bit integer");
+    return static_cast<std::int32_t>(v);
+}
+
+double
+SpecParams::getDouble(const std::string& key, double dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        badValue(key, it->second, "a number");
+    return v;
+}
+
+std::uint64_t
+SpecParams::getBytes(const std::string& key, std::uint64_t dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    const std::string& s = it->second;
+    // strtoull silently wraps negative input ("-1" -> 2^64-1), so
+    // reject a sign explicitly before parsing.
+    if (!s.empty() && (s[0] == '-' || s[0] == '+'))
+        badValue(key, s, "a non-negative byte size (optional K/M/G "
+                         "suffix)");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end == s.c_str())
+        badValue(key, s, "a byte size (optional K/M/G suffix)");
+    std::uint64_t shift = 0;
+    if (*end != '\0') {
+        switch (*end) {
+        case 'K': case 'k': shift = 10; break;
+        case 'M': case 'm': shift = 20; break;
+        case 'G': case 'g': shift = 30; break;
+        default:
+            badValue(key, s, "a byte size (optional K/M/G suffix)");
+        }
+        if (*(end + 1) != '\0')
+            badValue(key, s, "a byte size (optional K/M/G suffix)");
+        if (shift != 0 && (v >> (64 - shift)) != 0)
+            badValue(key, s, "a byte size that fits in 64 bits");
+    }
+    return static_cast<std::uint64_t>(v) << shift;
+}
+
+std::vector<std::int32_t>
+SpecParams::getI32List(const std::string& key,
+                       const std::vector<std::int32_t>& dflt) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return dflt;
+    const std::string& s = it->second;
+    std::vector<std::int32_t> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i < s.size() && s[i] != '/')
+            continue;
+        const std::string tok = s.substr(start, i - start);
+        start = i + 1;
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(tok.c_str(), &end, 0);
+        if (tok.empty() || errno != 0 || end == tok.c_str() ||
+            *end != '\0' || v < INT32_MIN || v > INT32_MAX)
+            badValue(key, s, "a '/'-separated integer list (e.g. 2/3/5)");
+        out.push_back(static_cast<std::int32_t>(v));
+    }
+    return out;
+}
+
+std::vector<std::string>
+SpecParams::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace pythia

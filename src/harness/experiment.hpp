@@ -40,14 +40,18 @@ class ExperimentBuilder
         spec_.workload = std::move(workload);
     }
 
-    /** Catalog workload run on every core (see workloads/suites.hpp). */
+    /** Workload spec run on every core: a catalog name or a registry
+     *  spec string like "stream:footprint=256M,mem_ratio=0.4",
+     *  "trace:file=foo.bin" or "phase:stream@40+graph@60"
+     *  (workloads/suites.hpp). */
     ExperimentBuilder& workload(std::string name)
     {
         spec_.workload = std::move(name);
         return *this;
     }
 
-    /** Heterogeneous per-core workload mix; size must equal cores(). */
+    /** Heterogeneous per-core workload mix (each entry a workload spec
+     *  like workload()); size must equal cores(). */
     ExperimentBuilder& mix(std::vector<std::string> names)
     {
         spec_.mix = std::move(names);

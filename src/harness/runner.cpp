@@ -83,17 +83,21 @@ Runner::baselineKey(const ExperimentSpec& spec)
     // Every field that changes the no-prefetching run participates; the
     // prefetcher fields and pythia_cfg do not (the baseline resets
     // them). Field separators are control characters that cannot occur
-    // in catalog names, and the mix is length-prefixed, so distinct
-    // specs can never collide on one key. A mix overrides the workload
-    // name in workloadsFor(), so a set mix also canonicalizes away the
-    // (ignored) workload field here.
+    // in catalog names or registry specs, and the mix is
+    // length-prefixed, so distinct specs can never collide on one key.
+    // A mix overrides the workload name in workloadsFor(), so a set mix
+    // also canonicalizes away the (ignored) workload field here.
+    // Workload names canonicalize through the registry
+    // (wl::canonicalWorkloadSpec): two spellings of one parameterized
+    // spec — key order, whitespace, an explicit default phase length —
+    // construct the same stream and must share one cached baseline.
     std::ostringstream key;
     if (spec.mix.empty()) {
-        key << "w:" << spec.workload;
+        key << "w:" << wl::canonicalWorkloadSpec(spec.workload);
     } else {
         key << "m:" << spec.mix.size();
         for (const auto& m : spec.mix)
-            key << '\x1e' << m;
+            key << '\x1e' << wl::canonicalWorkloadSpec(m);
     }
     key << '\x1f' << spec.num_cores << '\x1f' << spec.mtps << '\x1f'
         << spec.llc_bytes_per_core << '\x1f' << spec.warmup_instrs

@@ -40,7 +40,8 @@ std::vector<std::string> harnessPrefetcherNames();
 sim::SystemConfig systemConfigFor(const ExperimentSpec& spec);
 
 /** Build the per-core workload list for @p spec (clones for homogeneous
- *  multi-core runs, catalog lookups for heterogeneous mixes). */
+ *  multi-core runs, per-entry resolution for heterogeneous mixes).
+ *  Accepts catalog names and registry workload specs alike. */
 std::vector<std::unique_ptr<wl::Workload>>
 workloadsFor(const ExperimentSpec& spec);
 

@@ -23,12 +23,16 @@ namespace pythia::harness {
  * Everything that defines one simulation run. Prefetchers are named by
  * registry spec strings (sim/prefetcher_registry.hpp) — parameterized
  * ("spp:max_lookahead=4", "pythia:gamma=0.5") and composed
- * ("stride+spp+bingo") specs included. Usually built through the fluent
+ * ("stride+spp+bingo") specs included. Workloads (and mix entries) are
+ * workload specs too (workloads/suites.hpp): catalog names
+ * ("482.sphinx3-417B") or registry spec strings
+ * ("stream:footprint=256M,mem_ratio=0.4", "trace:file=foo.bin",
+ * "phase:stream@40+graph@60"). Usually built through the fluent
  * ExperimentBuilder (harness/experiment.hpp).
  */
 struct ExperimentSpec
 {
-    std::string workload;            ///< catalog name (ignored if mix set)
+    std::string workload;            ///< workload spec (ignored if mix set)
     std::vector<std::string> mix;    ///< heterogeneous multi-core mix
     std::string prefetcher = "none"; ///< L2 prefetcher spec
     std::string l1_prefetcher = "none"; ///< L1 prefetcher spec (multi-level)

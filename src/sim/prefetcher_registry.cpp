@@ -1,104 +1,12 @@
 #include "sim/prefetcher_registry.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 
 #include "common/spec.hpp"
 
 namespace pythia::sim {
-
-// ------------------------------------------------------- PrefetcherParams
-
-bool
-PrefetcherParams::has(const std::string& key) const
-{
-    return kv_.count(key) != 0;
-}
-
-std::string
-PrefetcherParams::getString(const std::string& key,
-                            const std::string& dflt) const
-{
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : it->second;
-}
-
-void
-PrefetcherParams::badValue(const std::string& key,
-                           const std::string& value,
-                           const char* expected) const
-{
-    throw std::invalid_argument(owner_ + ": parameter '" + key +
-                                "' expects " + expected + ", got '" +
-                                value + "'");
-}
-
-std::int64_t
-PrefetcherParams::getInt(const std::string& key, std::int64_t dflt) const
-{
-    const auto it = kv_.find(key);
-    if (it == kv_.end())
-        return dflt;
-    errno = 0;
-    char* end = nullptr;
-    const long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (errno != 0 || end == it->second.c_str() || *end != '\0')
-        badValue(key, it->second, "an integer");
-    return v;
-}
-
-std::uint32_t
-PrefetcherParams::getU32(const std::string& key, std::uint32_t dflt) const
-{
-    const std::int64_t v = getInt(key, dflt);
-    if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX))
-        badValue(key, kv_.at(key), "a non-negative 32-bit integer");
-    return static_cast<std::uint32_t>(v);
-}
-
-std::uint64_t
-PrefetcherParams::getU64(const std::string& key, std::uint64_t dflt) const
-{
-    const std::int64_t v = getInt(key, static_cast<std::int64_t>(dflt));
-    if (v < 0)
-        badValue(key, kv_.at(key), "a non-negative integer");
-    return static_cast<std::uint64_t>(v);
-}
-
-std::int32_t
-PrefetcherParams::getI32(const std::string& key, std::int32_t dflt) const
-{
-    const std::int64_t v = getInt(key, dflt);
-    if (v < INT32_MIN || v > INT32_MAX)
-        badValue(key, kv_.at(key), "a 32-bit integer");
-    return static_cast<std::int32_t>(v);
-}
-
-double
-PrefetcherParams::getDouble(const std::string& key, double dflt) const
-{
-    const auto it = kv_.find(key);
-    if (it == kv_.end())
-        return dflt;
-    errno = 0;
-    char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (errno != 0 || end == it->second.c_str() || *end != '\0')
-        badValue(key, it->second, "a number");
-    return v;
-}
-
-std::vector<std::string>
-PrefetcherParams::keys() const
-{
-    std::vector<std::string> out;
-    for (const auto& [k, v] : kv_)
-        out.push_back(k);
-    return out;
-}
 
 // ------------------------------------------------------ PrefetcherRegistry
 

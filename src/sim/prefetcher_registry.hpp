@@ -28,50 +28,15 @@
 #include <string>
 #include <vector>
 
+#include "common/params.hpp"
 #include "sim/prefetcher_api.hpp"
 
 namespace pythia::sim {
 
-/**
- * Typed view over the key=value parameters of one spec part. Getters
- * return the default when the key is absent and throw
- * std::invalid_argument (naming the owning prefetcher and the key) when
- * the value does not parse as the requested type.
- */
-class PrefetcherParams
-{
-  public:
-    PrefetcherParams() = default;
-    PrefetcherParams(std::string owner,
-                     std::map<std::string, std::string> kv)
-        : owner_(std::move(owner)), kv_(std::move(kv))
-    {
-    }
-
-    /** Name of the prefetcher these params configure (for messages). */
-    const std::string& owner() const { return owner_; }
-
-    bool has(const std::string& key) const;
-
-    std::string getString(const std::string& key,
-                          const std::string& dflt = "") const;
-    std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
-    std::uint32_t getU32(const std::string& key, std::uint32_t dflt) const;
-    std::uint64_t getU64(const std::string& key, std::uint64_t dflt) const;
-    std::int32_t getI32(const std::string& key, std::int32_t dflt) const;
-    double getDouble(const std::string& key, double dflt) const;
-
-    /** All keys present, sorted. */
-    std::vector<std::string> keys() const;
-
-  private:
-    [[noreturn]] void badValue(const std::string& key,
-                               const std::string& value,
-                               const char* expected) const;
-
-    std::string owner_;
-    std::map<std::string, std::string> kv_;
-};
+/** Typed view over the key=value parameters of one spec part — the
+ *  shared pythia::SpecParams (common/params.hpp), which also serves the
+ *  workload registry. */
+using PrefetcherParams = SpecParams;
 
 /** Factory from parsed parameters to a live prefetcher. */
 using PrefetcherFactory =

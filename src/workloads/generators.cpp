@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "common/hashing.hpp"
+#include "workloads/registry.hpp"
 
 namespace pythia::wl {
 
@@ -388,11 +390,23 @@ GraphGen::clone(std::uint64_t reseed) const
 MixedPhaseGen::MixedPhaseGen(std::string name, std::uint64_t seed,
                              std::vector<std::unique_ptr<Workload>> children,
                              std::size_t phase_len)
+    : MixedPhaseGen(std::move(name), seed, std::move(children),
+                    std::vector<std::size_t>())
+{
+    assert(phase_len > 0);
+    phase_lens_.assign(children_.size(), phase_len);
+}
+
+MixedPhaseGen::MixedPhaseGen(std::string name, std::uint64_t seed,
+                             std::vector<std::unique_ptr<Workload>> children,
+                             std::vector<std::size_t> phase_lens)
     : GenBase(std::move(name), seed, GenParams{}),
-      children_(std::move(children)), phase_len_(phase_len)
+      children_(std::move(children)), phase_lens_(std::move(phase_lens))
 {
     assert(!children_.empty());
-    assert(phase_len_ > 0);
+    assert(phase_lens_.empty() || phase_lens_.size() == children_.size());
+    for ([[maybe_unused]] std::size_t len : phase_lens_)
+        assert(len > 0);
 }
 
 void
@@ -407,7 +421,7 @@ MixedPhaseGen::resetState()
 TraceRecord
 MixedPhaseGen::next()
 {
-    if (emitted_ >= phase_len_) {
+    if (emitted_ >= phase_lens_[active_]) {
         emitted_ = 0;
         active_ = (active_ + 1) % children_.size();
     }
@@ -424,7 +438,7 @@ MixedPhaseGen::clone(std::uint64_t reseed) const
         copies.push_back(children_[i]->clone(
             reseed ? mix64(reseed + i) : 0));
     return std::make_unique<MixedPhaseGen>(
-        name(), reseed ? reseed : seed(), std::move(copies), phase_len_);
+        name(), reseed ? reseed : seed(), std::move(copies), phase_lens_);
 }
 
 // ---------------------------------------------------------------------------
@@ -470,5 +484,155 @@ CaseStudyGen::clone(std::uint64_t reseed) const
     return std::make_unique<CaseStudyGen>(
         name(), reseed ? reseed : seed(), params());
 }
+
+// ---------------------------------------------------------------------------
+// Registry entries: one WorkloadRegistrar per generator family, so any
+// family is constructible from a parameterized spec string
+// ("stream:footprint=256M,mem_ratio=0.4") next to the catalog names.
+// Range checks live here, not in the constructors: spec strings are
+// user input, constructor arguments are programmer input (asserts).
+
+namespace {
+
+[[noreturn]] void
+badParam(const WorkloadParams& p, const std::string& key,
+         const char* expected)
+{
+    throw std::invalid_argument(p.owner() + ": parameter '" + key +
+                                "' must be " + expected);
+}
+
+double
+unitFraction(const WorkloadParams& p, const std::string& key, double dflt)
+{
+    const double v = p.getDouble(key, dflt);
+    if (v < 0.0 || v > 1.0)
+        badParam(p, key, "in [0, 1]");
+    return v;
+}
+
+/** The GenParams keys every generator family accepts. */
+const std::vector<std::string> kCommonKeys = {"mem_ratio", "write_ratio",
+                                              "dep_ratio", "footprint"};
+
+std::vector<std::string>
+withCommonKeys(std::vector<std::string> keys)
+{
+    keys.insert(keys.end(), kCommonKeys.begin(), kCommonKeys.end());
+    return keys;
+}
+
+GenParams
+genParams(const WorkloadParams& p)
+{
+    GenParams g;
+    g.mem_ratio = p.getDouble("mem_ratio", g.mem_ratio);
+    if (g.mem_ratio <= 0.0 || g.mem_ratio > 1.0)
+        badParam(p, "mem_ratio", "in (0, 1]");
+    g.write_ratio = unitFraction(p, "write_ratio", g.write_ratio);
+    g.dep_ratio = unitFraction(p, "dep_ratio", g.dep_ratio);
+    g.footprint_bytes = p.getBytes("footprint", g.footprint_bytes);
+    if ((g.footprint_bytes >> kBlockShift) == 0)
+        badParam(p, "footprint", "at least one cacheline (64 bytes)");
+    return g;
+}
+
+[[maybe_unused]] const WorkloadRegistrar stream_registrar{
+    "stream",
+    "monotonic multi-stream scans (libquantum/bwaves-like)",
+    withCommonKeys({"streams", "backwards"}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        const std::uint32_t streams = p.getU32("streams", 4);
+        if (streams == 0)
+            badParam(p, "streams", "> 0");
+        return std::make_unique<StreamGen>(
+            name, seed, genParams(p), streams,
+            unitFraction(p, "backwards", 0.0));
+    }};
+
+[[maybe_unused]] const WorkloadRegistrar stride_registrar{
+    "stride",
+    "constant per-PC stride walkers (lbm-like)",
+    withCommonKeys({"strides"}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        const auto strides = p.getI32List("strides", {2, 3, 5, 7});
+        if (strides.empty())
+            badParam(p, "strides", "a non-empty list (e.g. 2/3/5)");
+        return std::make_unique<StrideGen>(name, seed, genParams(p),
+                                           strides);
+    }};
+
+[[maybe_unused]] const WorkloadRegistrar spatial_registrar{
+    "spatial",
+    "recurring region footprints keyed by trigger PC (sphinx3-like)",
+    withCommonKeys({"patterns", "density", "concurrency"}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        const std::uint32_t patterns = p.getU32("patterns", 6);
+        const std::uint32_t concurrency = p.getU32("concurrency", 4);
+        const double density = p.getDouble("density", 0.4);
+        if (patterns == 0)
+            badParam(p, "patterns", "> 0");
+        if (concurrency == 0)
+            badParam(p, "concurrency", "> 0");
+        if (density <= 0.0 || density > 1.0)
+            badParam(p, "density", "in (0, 1]");
+        return std::make_unique<SpatialRegionGen>(
+            name, seed, genParams(p), patterns, density, concurrency);
+    }};
+
+[[maybe_unused]] const WorkloadRegistrar delta_registrar{
+    "delta",
+    "repeating in-page delta chains (GemsFDTD-like)",
+    withCommonKeys({"deltas"}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        const auto deltas = p.getI32List("deltas", {1, 2, 1, 3});
+        if (deltas.empty())
+            badParam(p, "deltas", "a non-empty list (e.g. 1/2/1/3)");
+        for (std::int32_t d : deltas)
+            if (d <= 0)
+                badParam(p, "deltas", "all > 0");
+        return std::make_unique<DeltaChainGen>(name, seed, genParams(p),
+                                               deltas);
+    }};
+
+[[maybe_unused]] const WorkloadRegistrar irregular_registrar{
+    "irregular",
+    "pointer chasing over a large footprint (mcf-like)",
+    withCommonKeys({"stride_fraction"}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        return std::make_unique<IrregularGen>(
+            name, seed, genParams(p),
+            unitFraction(p, "stride_fraction", 0.2));
+    }};
+
+[[maybe_unused]] const WorkloadRegistrar graph_registrar{
+    "graph",
+    "CSR frontier processing, bandwidth hungry (Ligra-like)",
+    withCommonKeys({"degree", "irregularity"}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        const std::uint32_t degree = p.getU32("degree", 8);
+        if (degree == 0)
+            badParam(p, "degree", "> 0");
+        return std::make_unique<GraphGen>(
+            name, seed, genParams(p), degree,
+            unitFraction(p, "irregularity", 0.8));
+    }};
+
+[[maybe_unused]] const WorkloadRegistrar casestudy_registrar{
+    "casestudy",
+    "the paper's §6.5 +23/+11 companion-access pattern",
+    withCommonKeys({}),
+    [](const WorkloadParams& p, std::uint64_t seed,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        return std::make_unique<CaseStudyGen>(name, seed, genParams(p));
+    }};
+
+} // namespace
 
 } // namespace pythia::wl

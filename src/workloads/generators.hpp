@@ -253,6 +253,15 @@ class MixedPhaseGen : public GenBase
                   std::vector<std::unique_ptr<Workload>> children,
                   std::size_t phase_len = 20000);
 
+    /**
+     * Per-child phase lengths: child i emits @p phase_lens[i] records
+     * per rotation (the registry's "phase:stream@40+graph@60" form).
+     * @pre phase_lens.size() == children.size(), all entries > 0.
+     */
+    MixedPhaseGen(std::string name, std::uint64_t seed,
+                  std::vector<std::unique_ptr<Workload>> children,
+                  std::vector<std::size_t> phase_lens);
+
     TraceRecord next() override;
     std::unique_ptr<Workload> clone(std::uint64_t reseed) const override;
 
@@ -261,7 +270,7 @@ class MixedPhaseGen : public GenBase
 
   private:
     std::vector<std::unique_ptr<Workload>> children_;
-    std::size_t phase_len_;
+    std::vector<std::size_t> phase_lens_; ///< records per phase, per child
     std::size_t emitted_ = 0;
     std::size_t active_ = 0;
 };

@@ -1,0 +1,291 @@
+#include "workloads/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+#include "common/spec.hpp"
+#include "workloads/generators.hpp"
+
+namespace pythia::wl {
+
+namespace {
+
+/** Records each phase child emits before the rotation moves on when no
+ *  "@<records>" suffix is given (the MixedPhaseGen default). */
+constexpr std::size_t kDefaultPhaseLen = 20000;
+
+std::string
+trimCopy(const std::string& s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** True when @p spec's (lowercased) family token is "phase". */
+bool
+isPhaseSpec(const std::string& spec)
+{
+    const std::string head =
+        trimCopy(spec.substr(0, spec.find(':')));
+    if (head.size() != 5)
+        return false;
+    std::string low = head;
+    std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+        return std::tolower(c);
+    });
+    return low == "phase";
+}
+
+/** Split on '+' (phase children); parseSpecList cannot be used because
+ *  it would treat the children as a prefetcher-style composition. */
+std::vector<std::string>
+splitPlus(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == '+') {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+struct WorkloadRegistry::PhasePart
+{
+    std::string spec;     ///< child workload spec (single part)
+    std::size_t len = kDefaultPhaseLen; ///< records per phase
+};
+
+WorkloadRegistry&
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(WorkloadFamily family)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (family.name == "phase")
+        throw std::logic_error(
+            "'phase' is reserved for the composite workload form");
+    if (!entries_.emplace(family.name, family).second)
+        throw std::logic_error("duplicate workload family registration: " +
+                               family.name);
+}
+
+std::vector<std::string>
+WorkloadRegistry::namesLocked() const
+{
+    std::vector<std::string> out;
+    for (const auto& [name, family] : entries_)
+        out.push_back(name);
+    out.push_back("phase");
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return namesLocked();
+}
+
+const WorkloadFamily*
+WorkloadRegistry::findLocked(const std::string& family) const
+{
+    const auto it = entries_.find(family);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const WorkloadFamily*
+WorkloadRegistry::find(const std::string& family) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return findLocked(family);
+}
+
+std::vector<WorkloadRegistry::PhasePart>
+WorkloadRegistry::parsePhase(const std::string& spec) const
+{
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos ||
+        trimCopy(spec.substr(colon + 1)).empty())
+        throw std::invalid_argument(
+            "bad workload spec '" + spec +
+            "': phase needs children, e.g. phase:stream@40+graph@60");
+
+    std::vector<PhasePart> parts;
+    for (const std::string& raw : splitPlus(spec.substr(colon + 1))) {
+        PhasePart part;
+        part.spec = trimCopy(raw);
+        // An "@<records>" suffix sets this child's phase length. '@' is
+        // reserved in phase children (a trace file path containing '@'
+        // cannot be composed this way).
+        const std::size_t at = part.spec.rfind('@');
+        if (at != std::string::npos) {
+            const std::string digits = trimCopy(part.spec.substr(at + 1));
+            if (digits.empty() ||
+                !std::all_of(digits.begin(), digits.end(),
+                             [](unsigned char c) {
+                                 return std::isdigit(c);
+                             }))
+                throw std::invalid_argument(
+                    "bad workload spec '" + spec + "': '@" + digits +
+                    "' is not a phase length (expected digits, e.g. "
+                    "stream@40)");
+            try {
+                part.len = std::stoull(digits);
+            } catch (const std::out_of_range&) {
+                throw std::invalid_argument(
+                    "bad workload spec '" + spec + "': phase length '" +
+                    digits + "' is out of range");
+            }
+            if (part.len == 0)
+                throw std::invalid_argument(
+                    "bad workload spec '" + spec +
+                    "': phase length must be > 0");
+            part.spec = trimCopy(part.spec.substr(0, at));
+        }
+        if (part.spec.empty())
+            throw std::invalid_argument("bad workload spec '" + spec +
+                                        "': empty phase child");
+        if (isPhaseSpec(part.spec))
+            throw std::invalid_argument(
+                "bad workload spec '" + spec +
+                "': phase children cannot nest another phase");
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+WorkloadRegistry::Resolved
+WorkloadRegistry::resolveOne(const std::string& spec) const
+{
+    const std::vector<ParsedSpec> parts = parseSpecList(spec);
+    if (parts.size() != 1)
+        throw std::invalid_argument(
+            "bad workload spec '" + spec +
+            "': workloads do not compose with '+'; use the "
+            "phase:child@len+child@len form");
+    const ParsedSpec& part = parts[0];
+
+    Resolved out;
+    out.family = find(part.name);
+    if (!out.family)
+        throw std::invalid_argument(
+            "unknown workload family '" + part.name + "'" +
+            didYouMean(part.name, names()) +
+            " (families: " + joinKeys(names()) + ")");
+
+    // Last assignment wins; the map also gives canonical() its sorted
+    // key order.
+    for (const auto& [key, value] : part.params) {
+        const bool known =
+            std::find(out.family->param_keys.begin(),
+                      out.family->param_keys.end(),
+                      key) != out.family->param_keys.end();
+        if (!known)
+            throw std::invalid_argument(
+                out.family->name + ": unknown parameter '" + key + "'" +
+                didYouMean(key, out.family->param_keys) +
+                " (accepted: " +
+                joinKeys(out.family->param_keys, "(no parameters)") +
+                ")");
+        out.kv[key] = value;
+    }
+    return out;
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::makeOne(const std::string& spec, std::uint64_t seed,
+                          const std::string& name) const
+{
+    const Resolved r = resolveOne(spec);
+    auto built = r.family->factory(WorkloadParams(r.family->name, r.kv),
+                                   seed, name);
+    if (!built)
+        throw std::logic_error("factory for workload family '" +
+                               r.family->name + "' returned null");
+    return built;
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::make(const std::string& spec, std::uint64_t seed,
+                       const std::string& name_override) const
+{
+    const std::string name =
+        name_override.empty() ? canonical(spec) : name_override;
+    if (!isPhaseSpec(spec))
+        return makeOne(spec, seed, name);
+
+    // Phase composite: child i is seeded mix64(seed ^ (i+1)), matching
+    // the catalog's historical Cloudsuite-style mix construction so
+    // catalog aliases replay bit-identically through this path.
+    std::vector<std::unique_ptr<Workload>> children;
+    std::vector<std::size_t> lens;
+    std::size_t i = 0;
+    for (const PhasePart& part : parsePhase(spec)) {
+        children.push_back(makeOne(part.spec,
+                                   mix64(seed ^ (i + 1)),
+                                   name + "." + std::to_string(i)));
+        lens.push_back(part.len);
+        ++i;
+    }
+    return std::make_unique<MixedPhaseGen>(name, seed,
+                                           std::move(children),
+                                           std::move(lens));
+}
+
+std::string
+WorkloadRegistry::canonicalOne(const std::string& spec) const
+{
+    const Resolved r = resolveOne(spec);
+    std::string out = r.family->name;
+    bool first = true;
+    for (const auto& [key, value] : r.kv) {
+        out += first ? ":" : ",";
+        out += key + "=" + value;
+        first = false;
+    }
+    return out;
+}
+
+std::string
+WorkloadRegistry::canonical(const std::string& spec) const
+{
+    if (!isPhaseSpec(spec))
+        return canonicalOne(spec);
+    std::string out = "phase:";
+    bool first = true;
+    for (const PhasePart& part : parsePhase(spec)) {
+        if (!first)
+            out += "+";
+        // Phase lengths are always explicit in the canonical form so
+        // "a" and "a@20000" (the default) spell the same key.
+        out += canonicalOne(part.spec) + "@" + std::to_string(part.len);
+        first = false;
+    }
+    return out;
+}
+
+std::vector<std::string>
+workloadFamilyNames()
+{
+    return WorkloadRegistry::instance().names();
+}
+
+} // namespace pythia::wl

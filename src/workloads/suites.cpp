@@ -1,8 +1,11 @@
 #include "workloads/suites.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 #include "common/hashing.hpp"
+#include "common/spec.hpp"
 
 namespace pythia::wl {
 
@@ -18,42 +21,45 @@ nameSeed(const std::string& name)
     return h | 1;
 }
 
-GenParams
-memParams(double mem_ratio, std::uint64_t footprint_mb = 64)
+/**
+ * The catalog's shared GenParams spelling. The catalog expresses
+ * *relative* memory intensity; @p half_ratio is the absolute
+ * mem_ratio with the 0.5x scaling already applied (so the no-prefetch
+ * baseline is latency-bound rather than bus-saturated — prefetching
+ * then pays off by hiding latency, as on the paper's systems, while
+ * the low-MTPS sweeps of Fig. 8(b) still drive the bus into
+ * saturation). dep_ratio 0.45 throughout; footprint only when it
+ * departs from the family default of 64M.
+ */
+std::string
+mp(const std::string& half_ratio, unsigned footprint_mb = 64)
 {
-    GenParams p;
-    // The catalog expresses *relative* memory intensity; the absolute
-    // ratio is scaled so that the no-prefetch baseline is latency-bound
-    // rather than bus-saturated (prefetching then pays off by hiding
-    // latency, as on the paper's systems, while the low-MTPS sweeps of
-    // Fig. 8(b) still drive the bus into saturation).
-    p.mem_ratio = 0.5 * mem_ratio;
-    p.dep_ratio = 0.45;
-    p.footprint_bytes = footprint_mb << 20;
-    return p;
+    std::string s = "mem_ratio=" + half_ratio + ",dep_ratio=0.45";
+    if (footprint_mb != 64)
+        s += ",footprint=" + std::to_string(footprint_mb) + "M";
+    return s;
 }
 
-WorkloadSpec
-spec(std::string name, std::string suite,
-     std::function<std::unique_ptr<Workload>(std::uint64_t)> make)
+/// Cloudsuite-like phase mix of spatial + irregular + stream. Child
+/// seeds derive as mix64(seed ^ (i+1)) inside the registry's phase
+/// factory, matching the historical makeCloudMix() construction.
+std::string
+cloudMix(const std::string& irr_frac, std::size_t phase_len)
 {
-    return WorkloadSpec{std::move(name), std::move(suite), std::move(make)};
-}
-
-/// Builds a Cloudsuite-like phase mix of spatial + irregular + stream.
-std::unique_ptr<Workload>
-makeCloudMix(const std::string& name, std::uint64_t seed, double irr_frac,
-             std::size_t phase_len)
-{
-    std::vector<std::unique_ptr<Workload>> kids;
-    kids.push_back(std::make_unique<SpatialRegionGen>(
-        name + ".spatial", mix64(seed ^ 1), memParams(0.30), 8, 0.3));
-    kids.push_back(std::make_unique<IrregularGen>(
-        name + ".irr", mix64(seed ^ 2), memParams(0.30), irr_frac));
-    kids.push_back(std::make_unique<StreamGen>(
-        name + ".stream", mix64(seed ^ 3), memParams(0.25), 2));
-    return std::make_unique<MixedPhaseGen>(name, seed, std::move(kids),
-                                           phase_len);
+    std::string at = "@";
+    at += std::to_string(phase_len);
+    std::string s = "phase:spatial:patterns=8,density=0.3,";
+    s += mp("0.15");
+    s += at;
+    s += "+irregular:stride_fraction=";
+    s += irr_frac;
+    s += ",";
+    s += mp("0.15");
+    s += at;
+    s += "+stream:streams=2,";
+    s += mp("0.125");
+    s += at;
+    return s;
 }
 
 std::vector<WorkloadSpec>
@@ -62,132 +68,83 @@ buildCatalog()
     std::vector<WorkloadSpec> v;
 
     // ---- SPEC06-like -----------------------------------------------------
-    v.push_back(spec("482.sphinx3-417B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<SpatialRegionGen>(
-            "482.sphinx3-417B", s, memParams(0.30), 6, 0.35);
-    }));
-    v.push_back(spec("459.GemsFDTD-765B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<DeltaChainGen>(
-            "459.GemsFDTD-765B", s, memParams(0.32),
-            std::vector<std::int32_t>{1, 2, 1, 3});
-    }));
-    v.push_back(spec("459.GemsFDTD-1320B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<CaseStudyGen>(
-            "459.GemsFDTD-1320B", s, memParams(0.32));
-    }));
-    v.push_back(spec("429.mcf-184B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<IrregularGen>(
-            "429.mcf-184B", s, memParams(0.33, 96), 0.15);
-    }));
-    v.push_back(spec("462.libquantum-1343B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<StreamGen>(
-            "462.libquantum-1343B", s, memParams(0.35), 1);
-    }));
-    v.push_back(spec("470.lbm-164B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<StrideGen>(
-            "470.lbm-164B", s, memParams(0.33),
-            std::vector<std::int32_t>{2, 3});
-    }));
-    v.push_back(spec("410.bwaves-945B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<StreamGen>(
-            "410.bwaves-945B", s, memParams(0.33), 8);
-    }));
-    v.push_back(spec("433.milc-127B", "SPEC06", [](std::uint64_t s) {
-        return std::make_unique<DeltaChainGen>(
-            "433.milc-127B", s, memParams(0.30),
-            std::vector<std::int32_t>{2, 3, 2, 5});
-    }));
+    v.push_back({"482.sphinx3-417B", "SPEC06",
+                 "spatial:patterns=6,density=0.35," + mp("0.15")});
+    v.push_back({"459.GemsFDTD-765B", "SPEC06",
+                 "delta:deltas=1/2/1/3," + mp("0.16")});
+    v.push_back({"459.GemsFDTD-1320B", "SPEC06",
+                 "casestudy:" + mp("0.16")});
+    v.push_back({"429.mcf-184B", "SPEC06",
+                 "irregular:stride_fraction=0.15," + mp("0.165", 96)});
+    v.push_back({"462.libquantum-1343B", "SPEC06",
+                 "stream:streams=1," + mp("0.175")});
+    v.push_back({"470.lbm-164B", "SPEC06",
+                 "stride:strides=2/3," + mp("0.165")});
+    v.push_back({"410.bwaves-945B", "SPEC06",
+                 "stream:streams=8," + mp("0.165")});
+    v.push_back({"433.milc-127B", "SPEC06",
+                 "delta:deltas=2/3/2/5," + mp("0.15")});
 
     // ---- SPEC17-like -----------------------------------------------------
-    v.push_back(spec("603.bwaves_s-2931B", "SPEC17", [](std::uint64_t s) {
-        return std::make_unique<StreamGen>(
-            "603.bwaves_s-2931B", s, memParams(0.36), 6);
-    }));
-    v.push_back(spec("605.mcf_s-665B", "SPEC17", [](std::uint64_t s) {
-        return std::make_unique<IrregularGen>(
-            "605.mcf_s-665B", s, memParams(0.32, 96), 0.2);
-    }));
-    v.push_back(spec("619.lbm_s-4268B", "SPEC17", [](std::uint64_t s) {
-        return std::make_unique<StrideGen>(
-            "619.lbm_s-4268B", s, memParams(0.34),
-            std::vector<std::int32_t>{3, 5});
-    }));
-    v.push_back(spec("654.roms_s-842B", "SPEC17", [](std::uint64_t s) {
-        return std::make_unique<DeltaChainGen>(
-            "654.roms_s-842B", s, memParams(0.30),
-            std::vector<std::int32_t>{1, 1, 2, 4});
-    }));
-    v.push_back(spec("623.xalancbmk_s-592B", "SPEC17", [](std::uint64_t s) {
-        return std::make_unique<IrregularGen>(
-            "623.xalancbmk_s-592B", s, memParams(0.28, 32), 0.45);
-    }));
-    v.push_back(spec("602.gcc_s-734B", "SPEC17", [](std::uint64_t s) {
-        return makeCloudMix("602.gcc_s-734B", s, 0.35, 8000);
-    }));
+    v.push_back({"603.bwaves_s-2931B", "SPEC17",
+                 "stream:streams=6," + mp("0.18")});
+    v.push_back({"605.mcf_s-665B", "SPEC17",
+                 "irregular:stride_fraction=0.2," + mp("0.16", 96)});
+    v.push_back({"619.lbm_s-4268B", "SPEC17",
+                 "stride:strides=3/5," + mp("0.17")});
+    v.push_back({"654.roms_s-842B", "SPEC17",
+                 "delta:deltas=1/1/2/4," + mp("0.15")});
+    v.push_back({"623.xalancbmk_s-592B", "SPEC17",
+                 "irregular:stride_fraction=0.45," + mp("0.14", 32)});
+    v.push_back({"602.gcc_s-734B", "SPEC17", cloudMix("0.35", 8000)});
 
     // ---- PARSEC-like -----------------------------------------------------
-    v.push_back(spec("PARSEC-Canneal", "PARSEC", [](std::uint64_t s) {
-        return std::make_unique<SpatialRegionGen>(
-            "PARSEC-Canneal", s, memParams(0.30), 8, 0.45);
-    }));
-    v.push_back(spec("PARSEC-Facesim", "PARSEC", [](std::uint64_t s) {
-        return std::make_unique<SpatialRegionGen>(
-            "PARSEC-Facesim", s, memParams(0.28), 5, 0.5);
-    }));
-    v.push_back(spec("PARSEC-Streamcluster", "PARSEC", [](std::uint64_t s) {
-        return std::make_unique<StreamGen>(
-            "PARSEC-Streamcluster", s, memParams(0.33), 3);
-    }));
-    v.push_back(spec("PARSEC-Raytrace", "PARSEC", [](std::uint64_t s) {
-        return std::make_unique<IrregularGen>(
-            "PARSEC-Raytrace", s, memParams(0.26, 48), 0.3);
-    }));
-    v.push_back(spec("PARSEC-Fluidanimate", "PARSEC", [](std::uint64_t s) {
-        return std::make_unique<StrideGen>(
-            "PARSEC-Fluidanimate", s, memParams(0.30),
-            std::vector<std::int32_t>{1, 2, 6});
-    }));
+    v.push_back({"PARSEC-Canneal", "PARSEC",
+                 "spatial:patterns=8,density=0.45," + mp("0.15")});
+    v.push_back({"PARSEC-Facesim", "PARSEC",
+                 "spatial:patterns=5,density=0.5," + mp("0.14")});
+    v.push_back({"PARSEC-Streamcluster", "PARSEC",
+                 "stream:streams=3," + mp("0.165")});
+    v.push_back({"PARSEC-Raytrace", "PARSEC",
+                 "irregular:stride_fraction=0.3," + mp("0.13", 48)});
+    v.push_back({"PARSEC-Fluidanimate", "PARSEC",
+                 "stride:strides=1/2/6," + mp("0.15")});
 
     // ---- Ligra-like (bandwidth hungry graph processing) -------------------
-    struct GraphCfg { const char* name; unsigned deg; double irr; double mr; };
-    const GraphCfg graphs[] = {
-        {"Ligra-PageRank",      16, 0.70, 0.42},
-        {"Ligra-PageRankDelta", 12, 0.75, 0.40},
-        {"Ligra-CC",            10, 0.80, 0.42},
-        {"Ligra-BFS",            6, 0.85, 0.38},
-        {"Ligra-BC",             8, 0.80, 0.40},
-        {"Ligra-BellmanFord",   10, 0.75, 0.40},
-        {"Ligra-Triangle",      20, 0.65, 0.42},
-        {"Ligra-Radii",          8, 0.80, 0.38},
-        {"Ligra-MIS",            6, 0.85, 0.36},
-        {"Ligra-BFSCC",          6, 0.85, 0.38},
+    struct GraphCfg
+    {
+        const char* name;
+        const char* deg;
+        const char* irr;
+        const char* half_mr; // memParams() intensity, pre-halved
     };
-    for (const auto& g : graphs) {
-        const std::string nm = g.name;
-        const unsigned deg = g.deg;
-        const double irr = g.irr;
-        const double mr = g.mr;
-        v.push_back(spec(nm, "Ligra", [nm, deg, irr, mr](std::uint64_t s) {
-            return std::make_unique<GraphGen>(nm, s, memParams(mr, 96), deg,
-                                              irr);
-        }));
-    }
+    const GraphCfg graphs[] = {
+        {"Ligra-PageRank",      "16", "0.7",  "0.21"},
+        {"Ligra-PageRankDelta", "12", "0.75", "0.2"},
+        {"Ligra-CC",            "10", "0.8",  "0.21"},
+        {"Ligra-BFS",            "6", "0.85", "0.19"},
+        {"Ligra-BC",             "8", "0.8",  "0.2"},
+        {"Ligra-BellmanFord",   "10", "0.75", "0.2"},
+        {"Ligra-Triangle",      "20", "0.65", "0.21"},
+        {"Ligra-Radii",          "8", "0.8",  "0.19"},
+        {"Ligra-MIS",            "6", "0.85", "0.18"},
+        {"Ligra-BFSCC",          "6", "0.85", "0.19"},
+    };
+    for (const auto& g : graphs)
+        v.push_back({g.name, "Ligra",
+                     std::string("graph:degree=") + g.deg +
+                         ",irregularity=" + g.irr + "," +
+                         mp(g.half_mr, 96)});
 
     // ---- Cloudsuite-like ---------------------------------------------------
-    v.push_back(spec("Cloudsuite-Cassandra", "Cloudsuite",
-                     [](std::uint64_t s) {
-        return makeCloudMix("Cloudsuite-Cassandra", s, 0.30, 12000);
-    }));
-    v.push_back(spec("Cloudsuite-Cloud9", "Cloudsuite", [](std::uint64_t s) {
-        return makeCloudMix("Cloudsuite-Cloud9", s, 0.40, 6000);
-    }));
-    v.push_back(spec("Cloudsuite-Nutch", "Cloudsuite", [](std::uint64_t s) {
-        return makeCloudMix("Cloudsuite-Nutch", s, 0.25, 9000);
-    }));
-    v.push_back(spec("Cloudsuite-Classification", "Cloudsuite",
-                     [](std::uint64_t s) {
-        return makeCloudMix("Cloudsuite-Classification", s, 0.35, 15000);
-    }));
+    v.push_back({"Cloudsuite-Cassandra", "Cloudsuite",
+                 cloudMix("0.3", 12000)});
+    v.push_back({"Cloudsuite-Cloud9", "Cloudsuite",
+                 cloudMix("0.4", 6000)});
+    v.push_back({"Cloudsuite-Nutch", "Cloudsuite",
+                 cloudMix("0.25", 9000)});
+    v.push_back({"Cloudsuite-Classification", "Cloudsuite",
+                 cloudMix("0.35", 15000)});
 
     return v;
 }
@@ -198,38 +155,48 @@ buildUnseenCatalog()
     // Held-out seeds and parameter draws never used anywhere else — the
     // moral equivalent of the CVP-2 traces of §6.4.
     std::vector<WorkloadSpec> v;
-    v.push_back(spec("crypto-aes-17", "Crypto", [](std::uint64_t s) {
-        return std::make_unique<StrideGen>(
-            "crypto-aes-17", s, memParams(0.25, 16),
-            std::vector<std::int32_t>{1, 1, 4});
-    }));
-    v.push_back(spec("crypto-sha-5", "Crypto", [](std::uint64_t s) {
-        return std::make_unique<StreamGen>(
-            "crypto-sha-5", s, memParams(0.28), 2);
-    }));
-    v.push_back(spec("int-41", "INT", [](std::uint64_t s) {
-        return makeCloudMix("int-41", s, 0.30, 7000);
-    }));
-    v.push_back(spec("int-112", "INT", [](std::uint64_t s) {
-        return std::make_unique<IrregularGen>(
-            "int-112", s, memParams(0.30, 48), 0.35);
-    }));
-    v.push_back(spec("fp-23", "FP", [](std::uint64_t s) {
-        return std::make_unique<DeltaChainGen>(
-            "fp-23", s, memParams(0.33),
-            std::vector<std::int32_t>{1, 3, 1, 5});
-    }));
-    v.push_back(spec("fp-77", "FP", [](std::uint64_t s) {
-        return std::make_unique<StreamGen>(
-            "fp-77", s, memParams(0.34), 5);
-    }));
-    v.push_back(spec("srv-9", "Server", [](std::uint64_t s) {
-        return std::make_unique<GraphGen>(
-            "srv-9", s, memParams(0.38, 96), 9, 0.75);
-    }));
-    v.push_back(spec("srv-62", "Server", [](std::uint64_t s) {
-        return makeCloudMix("srv-62", s, 0.45, 10000);
-    }));
+    v.push_back({"crypto-aes-17", "Crypto",
+                 "stride:strides=1/1/4," + mp("0.125", 16)});
+    v.push_back({"crypto-sha-5", "Crypto",
+                 "stream:streams=2," + mp("0.14")});
+    v.push_back({"int-41", "INT", cloudMix("0.3", 7000)});
+    v.push_back({"int-112", "INT",
+                 "irregular:stride_fraction=0.35," + mp("0.15", 48)});
+    v.push_back({"fp-23", "FP", "delta:deltas=1/3/1/5," + mp("0.165")});
+    v.push_back({"fp-77", "FP", "stream:streams=5," + mp("0.17")});
+    v.push_back({"srv-9", "Server",
+                 "graph:degree=9,irregularity=0.75," + mp("0.19", 96)});
+    v.push_back({"srv-62", "Server", cloudMix("0.45", 10000)});
+    return v;
+}
+
+/** Candidate list for "did you mean": every catalog name (main +
+ *  unseen) plus every registry family. */
+std::vector<std::string>
+suggestionCandidates()
+{
+    std::vector<std::string> out;
+    for (const auto& w : allWorkloads())
+        out.push_back(w.name);
+    for (const auto& w : unseenWorkloads())
+        out.push_back(w.name);
+    for (const auto& f : workloadFamilyNames())
+        out.push_back(f);
+    return out;
+}
+
+} // namespace
+
+namespace {
+
+/// Store alias specs canonically (sorted key order) — names and
+/// baseline keys then never depend on how suites.cpp spelled them —
+/// and validate every alias against the registry on first use.
+std::vector<WorkloadSpec>
+canonicalized(std::vector<WorkloadSpec> v)
+{
+    for (auto& w : v)
+        w.spec = WorkloadRegistry::instance().canonical(w.spec);
     return v;
 }
 
@@ -238,14 +205,16 @@ buildUnseenCatalog()
 const std::vector<WorkloadSpec>&
 allWorkloads()
 {
-    static const std::vector<WorkloadSpec> catalog = buildCatalog();
+    static const std::vector<WorkloadSpec> catalog =
+        canonicalized(buildCatalog());
     return catalog;
 }
 
 const std::vector<WorkloadSpec>&
 unseenWorkloads()
 {
-    static const std::vector<WorkloadSpec> catalog = buildUnseenCatalog();
+    static const std::vector<WorkloadSpec> catalog =
+        canonicalized(buildUnseenCatalog());
     return catalog;
 }
 
@@ -267,22 +236,64 @@ suiteWorkloads(const std::string& suite)
     return out;
 }
 
+const WorkloadSpec*
+findWorkload(const std::string& name)
+{
+    for (const auto& w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    for (const auto& w : unseenWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string& name, std::uint64_t seed_override)
 {
-    auto find_in = [&](const std::vector<WorkloadSpec>& catalog)
-        -> std::unique_ptr<Workload> {
-        for (const auto& w : catalog)
-            if (w.name == name)
-                return w.make(seed_override ? seed_override
-                                            : nameSeed(name));
-        return nullptr;
-    };
-    if (auto w = find_in(allWorkloads()))
-        return w;
-    if (auto w = find_in(unseenWorkloads()))
-        return w;
-    throw std::invalid_argument("unknown workload: " + name);
+    // Catalog alias: the paper-style name carries its deterministic
+    // seed and display name; the construction itself goes through the
+    // registry, so aliases and raw specs share one path.
+    if (const WorkloadSpec* alias = findWorkload(name))
+        return WorkloadRegistry::instance().make(
+            alias->spec, seed_override ? seed_override : nameSeed(name),
+            alias->name);
+
+    // Raw registry spec? Decide by whether the family token resolves,
+    // so spec-shaped inputs get the registry's precise parameter
+    // diagnostics while bare unknown names get catalog suggestions.
+    auto& registry = WorkloadRegistry::instance();
+    std::string family = name.substr(0, name.find(':'));
+    std::transform(family.begin(), family.end(), family.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    if (name.find(':') != std::string::npos ||
+        family == "phase" || registry.find(family) != nullptr) {
+        const std::string canon = registry.canonical(name);
+        return registry.make(
+            name, seed_override ? seed_override : nameSeed(canon));
+    }
+
+    throw std::invalid_argument(
+        "unknown workload '" + name + "'" +
+        didYouMean(name, suggestionCandidates()) +
+        " (catalog names: " + std::to_string(allWorkloads().size()) +
+        " main + " + std::to_string(unseenWorkloads().size()) +
+        " unseen, see wl::allWorkloads(); families: " +
+        joinKeys(workloadFamilyNames()) + ")");
+}
+
+std::string
+canonicalWorkloadSpec(const std::string& name)
+{
+    if (findWorkload(name))
+        return name;
+    try {
+        return WorkloadRegistry::instance().canonical(name);
+    } catch (const std::exception&) {
+        return name; // not a valid spec; fails at makeWorkload time
+    }
 }
 
 } // namespace pythia::wl

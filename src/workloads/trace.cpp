@@ -3,12 +3,32 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "workloads/registry.hpp"
+
 namespace pythia::wl {
 
 namespace {
 
 /// Magic bytes identifying our binary trace format, version 2.
 constexpr std::uint32_t kTraceMagic = 0x50595432; // "PYT2"
+
+// "trace:file=<path>" replays a captured binary trace through the same
+// Workload interface as the live generators — the ChampSim-style
+// trace-driven path. Replay is deterministic, so the seed is unused and
+// multi-core clones replay the identical stream.
+[[maybe_unused]] const WorkloadRegistrar trace_registrar{
+    "trace",
+    "binary trace replay (tools/trace_capture output), loops at EOF",
+    {"file"},
+    [](const WorkloadParams& p, std::uint64_t /*seed*/,
+       const std::string& name) -> std::unique_ptr<Workload> {
+        const std::string path = p.getString("file");
+        if (path.empty())
+            throw std::invalid_argument(
+                "trace: parameter 'file' is required "
+                "(trace:file=<path>)");
+        return std::make_unique<FileWorkload>(path, name);
+    }};
 
 struct DiskRecord
 {
@@ -42,7 +62,9 @@ writeTraceFile(const std::string& path, Workload& w, std::size_t n)
     return static_cast<bool>(out);
 }
 
-FileWorkload::FileWorkload(const std::string& path) : name_(path)
+FileWorkload::FileWorkload(const std::string& path,
+                           std::string display_name)
+    : name_(display_name.empty() ? path : std::move(display_name))
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)

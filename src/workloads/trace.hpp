@@ -81,8 +81,11 @@ bool writeTraceFile(const std::string& path, Workload& w, std::size_t n);
 class FileWorkload : public Workload
 {
   public:
-    /** Load a trace file; throws std::runtime_error when unreadable. */
-    explicit FileWorkload(const std::string& path);
+    /** Load a trace file; throws std::runtime_error when unreadable.
+     *  @p display_name overrides name() (catalog aliases and registry
+     *  specs pass theirs); empty keeps the path. */
+    explicit FileWorkload(const std::string& path,
+                          std::string display_name = "");
 
     /** Build from an in-memory record vector (test convenience). */
     FileWorkload(std::string name, std::vector<TraceRecord> records);

@@ -167,6 +167,20 @@ TEST(Runner, BaselineKeyMixEncodingIsUnambiguous)
     EXPECT_NE(Runner::baselineKey(two), Runner::baselineKey(other));
 }
 
+TEST(Runner, BaselineKeyCanonicalizesWorkloadSpecSpelling)
+{
+    // Registry workload specs canonicalize (sorted key order), so two
+    // spellings of one parameterized workload share a cached baseline;
+    // names that are not valid specs pass through verbatim and still
+    // cannot collide (the key stays length-prefixed and separated).
+    ExperimentSpec a = quickSpec("stream:streams=2,mem_ratio=0.4", "spp");
+    ExperimentSpec b = quickSpec("stream:mem_ratio=0.4,streams=2", "spp");
+    EXPECT_EQ(Runner::baselineKey(a), Runner::baselineKey(b));
+
+    ExperimentSpec c = quickSpec("stream:streams=4,mem_ratio=0.4", "spp");
+    EXPECT_NE(Runner::baselineKey(a), Runner::baselineKey(c));
+}
+
 TEST(Runner, SeedDifferingSpecsDoNotShareCachedBaseline)
 {
     // Regression: two specs differing only in workload_seed used to be

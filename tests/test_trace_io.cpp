@@ -79,7 +79,8 @@ TEST(TraceIo, EmptyTraceFileIsRejected)
 
 TEST(TraceIo, EmptyInMemoryTraceIsRejected)
 {
-    EXPECT_THROW(wl::FileWorkload("empty", {}), std::runtime_error);
+    EXPECT_THROW(wl::FileWorkload("empty", std::vector<wl::TraceRecord>{}),
+                 std::runtime_error);
 }
 
 TEST(TraceIo, MissingFileIsRejected)

@@ -352,7 +352,8 @@ TEST(TraceFile, MissingFileThrows)
 
 TEST(TraceFile, EmptyTraceRejected)
 {
-    EXPECT_THROW(FileWorkload("mem", {}), std::runtime_error);
+    EXPECT_THROW(FileWorkload("mem", std::vector<TraceRecord>{}),
+                 std::runtime_error);
 }
 
 } // namespace
