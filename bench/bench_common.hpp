@@ -16,11 +16,18 @@
  * makes the bench write a pythia-perf-v1 JSON artifact covering every
  * sweep it ran; quiet=1 suppresses the per-sweep stderr throughput line
  * so redirecting both streams yields clean CSV.
+ *
+ * Warm-state caching (DESIGN.md §9): snapshot_dir=<dir> persists every
+ * post-warmup machine state as a pythia-snap-v1 file in <dir> and
+ * restores it on later runs with the same configuration fingerprint,
+ * skipping the warmup simulation entirely. Restored runs are
+ * bit-identical to cold ones.
  */
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -52,6 +59,7 @@ struct BenchOptions
     unsigned jobs = 0;      ///< worker threads; 0 = hardware concurrency
     bool quiet = false;     ///< suppress the stderr throughput line
     std::string perf_out;   ///< perf JSON path; empty = no artifact
+    std::string snapshot_dir; ///< warm-state cache dir; empty = off
     Config cli;             ///< full parse, for bench-specific keys
     harness::PerfReport perf; ///< accumulated by runSweep()
 };
@@ -68,7 +76,7 @@ parseBenchArgs(int argc, char** argv,
                const std::vector<std::string>& extra_keys = {})
 {
     std::vector<std::string> allowed = {"sim_scale", "jobs", "quiet",
-                                        "perf_out"};
+                                        "perf_out", "snapshot_dir"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     BenchOptions opt;
     {
@@ -104,6 +112,7 @@ parseBenchArgs(int argc, char** argv,
         opt.jobs = static_cast<unsigned>(jobs);
         opt.quiet = opt.cli.getBool("quiet", false);
         opt.perf_out = opt.cli.getString("perf_out", "");
+        opt.snapshot_dir = opt.cli.getString("snapshot_dir", "");
     } catch (const std::exception& e) {
         std::cerr << (argc > 0 ? argv[0] : "bench") << ": " << e.what()
                   << "\n";
@@ -123,6 +132,15 @@ inline std::vector<harness::Runner::Outcome>
 runSweep(harness::Sweep& sweep, harness::Runner& runner,
          BenchOptions& opt)
 {
+    if (!opt.snapshot_dir.empty() && runner.snapshotDir().empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.snapshot_dir, ec);
+        if (ec)
+            std::cerr << "[snapshot] cannot create " << opt.snapshot_dir
+                      << ": " << ec.message() << " (running cold)\n";
+        else
+            runner.setSnapshotDir(opt.snapshot_dir);
+    }
     harness::ParallelRunner pool(opt.jobs);
     if (opt.quiet)
         pool.reportTo(nullptr);

@@ -1,6 +1,7 @@
 #include "common/rng.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace pythia {
 
@@ -26,6 +27,17 @@ Rng::Rng(std::uint64_t seed)
     s1_ = splitmix64(x);
     if (s0_ == 0 && s1_ == 0)
         s1_ = 1; // xorshift state must not be all-zero
+}
+
+void
+Rng::setState(const RngState& st)
+{
+    if (st.s0 == 0 && st.s1 == 0)
+        throw std::invalid_argument(
+            "Rng::setState: all-zero state is not a valid xorshift128+ "
+            "state");
+    s0_ = st.s0;
+    s1_ = st.s1;
 }
 
 std::uint64_t

@@ -14,6 +14,17 @@
 
 namespace pythia {
 
+/** The full internal state of an Rng stream (two xorshift128+ words).
+ *  Serializable: setState(state()) reproduces the stream exactly from
+ *  the current position — the property snapshots rely on. */
+struct RngState
+{
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+
+    bool operator==(const RngState&) const = default;
+};
+
 /**
  * Deterministic xorshift128+ PRNG.
  *
@@ -26,6 +37,13 @@ class Rng
   public:
     /** Construct from a 64-bit seed via splitmix64 expansion. */
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Mid-stream state, exactly as positioned now. */
+    RngState state() const { return {s0_, s1_}; }
+
+    /** Restore a state captured by state(). Rejects the all-zero state
+     *  (unreachable by any seed; xorshift would emit zeros forever). */
+    void setState(const RngState& st);
 
     /** Next raw 64-bit value. */
     std::uint64_t next64();

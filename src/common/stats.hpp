@@ -12,6 +12,11 @@
 #include <ostream>
 #include <string>
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia {
 
 /**
@@ -71,6 +76,17 @@ class StatGroup
 
     /** All floating-point values (for test introspection). */
     const std::map<std::string, double>& values() const { return values_; }
+
+    /** Serialize every counter and value (snapshot subsystem). */
+    void saveState(snap::Writer& w) const;
+
+    /**
+     * Restore a saveState() image: reset() in place, then assign the
+     * serialized entries. Existing map nodes are reused, so counter
+     * pointers handed out by counterSlot() stay valid across a load —
+     * the same stability guarantee reset() gives the hot paths.
+     */
+    void loadState(snap::Reader& r);
 
   private:
     std::string name_;

@@ -83,6 +83,11 @@ class PythiaPrefetcher : public pf::PrefetcherBase
                std::vector<sim::PrefetchRequest>& out) override;
     void onFill(Addr block, Cycle at) override;
 
+    /** Serialize the QVStore, EQ, feature histories, exploration RNG
+     *  and agent counters (snapshot subsystem). */
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
     /** Live configuration-register updates (paper §6.6): swap the reward
      *  levels without touching learned state. */
     void setRewards(const RewardConfig& rewards) { cfg_.rewards = rewards; }

@@ -1,7 +1,10 @@
 #include "core/eq.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
+
+#include "snapshot/codec.hpp"
 
 namespace pythia::rl {
 
@@ -100,6 +103,73 @@ EvaluationQueue::head() const
 {
     assert(!entries_.empty());
     return entries_.front();
+}
+
+void
+EvaluationQueue::saveState(snap::Writer& w) const
+{
+    w.u64(capacity_);
+    w.u64(entries_.size());
+    for (const EqEntry& e : entries_) {
+        w.vecU64(e.state);
+        w.u32(e.action);
+        w.u64(e.prefetch_block);
+        w.boolean(e.has_prefetch);
+        w.u64(e.fill_time);
+        w.boolean(e.fill_known);
+        w.boolean(e.has_reward);
+        w.f64(e.reward);
+    }
+    // The pending index iterates in unordered_map order; sort by address
+    // so identical logical state always produces identical bytes.
+    std::vector<std::pair<Addr, PendingCounts>> pending(pending_.begin(),
+                                                        pending_.end());
+    std::sort(pending.begin(), pending.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(pending.size());
+    for (const auto& [addr, pc] : pending) {
+        w.u64(addr);
+        w.u32(pc.unrewarded);
+        w.u32(pc.fill_unknown);
+    }
+}
+
+void
+EvaluationQueue::loadState(snap::Reader& r)
+{
+    const std::uint64_t capacity = r.u64();
+    if (capacity != capacity_)
+        throw snap::CorruptError(
+            "snapshot corrupt: eq capacity " + std::to_string(capacity) +
+            " does not match this configuration (" +
+            std::to_string(capacity_) + ")");
+    const std::uint64_t n = r.u64();
+    if (n > capacity_)
+        throw snap::CorruptError(
+            "snapshot corrupt: eq holds " + std::to_string(n) +
+            " entries, above its capacity " + std::to_string(capacity_));
+    entries_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EqEntry e;
+        e.state = r.vecU64();
+        e.action = r.u32();
+        e.prefetch_block = r.u64();
+        e.has_prefetch = r.boolean();
+        e.fill_time = r.u64();
+        e.fill_known = r.boolean();
+        e.has_reward = r.boolean();
+        e.reward = r.f64();
+        entries_.push_back(std::move(e));
+    }
+    pending_.clear();
+    const std::uint64_t n_pending = r.u64();
+    for (std::uint64_t i = 0; i < n_pending; ++i) {
+        const Addr addr = r.u64();
+        PendingCounts pc;
+        pc.unrewarded = r.u32();
+        pc.fill_unknown = r.u32();
+        pending_.emplace(addr, pc);
+    }
 }
 
 } // namespace pythia::rl

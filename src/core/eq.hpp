@@ -17,6 +17,11 @@
 
 #include "common/types.hpp"
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia::rl {
 
 /** One Evaluation Queue entry. */
@@ -111,6 +116,15 @@ class EvaluationQueue
         entries_.clear();
         pending_.clear();
     }
+
+    /** Serialize entries (queue order) + the pending-block index, the
+     *  latter sorted by address for byte-stable output (snapshot
+     *  subsystem). */
+    void saveState(snap::Writer& w) const;
+
+    /** Restore a saveState() image into a queue of equal capacity.
+     *  @throws snap::CorruptError on capacity/occupancy mismatch. */
+    void loadState(snap::Reader& r);
 
   private:
     /**

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/hashing.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::rl {
 
@@ -97,6 +98,34 @@ FeatureExtractor::reset()
     last_block_ = 0;
     last_page_ = ~0ull;
     has_last_ = false;
+}
+
+void
+FeatureExtractor::saveState(snap::Writer& w) const
+{
+    for (Addr pc : pcs_)
+        w.u64(pc);
+    for (std::int32_t d : deltas_)
+        w.i32(d);
+    for (std::uint32_t o : offsets_)
+        w.u32(o);
+    w.u64(last_block_);
+    w.u64(last_page_);
+    w.boolean(has_last_);
+}
+
+void
+FeatureExtractor::loadState(snap::Reader& r)
+{
+    for (Addr& pc : pcs_)
+        pc = r.u64();
+    for (std::int32_t& d : deltas_)
+        d = r.i32();
+    for (std::uint32_t& o : offsets_)
+        o = r.u32();
+    last_block_ = r.u64();
+    last_page_ = r.u64();
+    has_last_ = r.boolean();
 }
 
 void

@@ -15,6 +15,11 @@
 
 #include "common/types.hpp"
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia::rl {
 
 /** Control-flow feature components (paper Table 3). */
@@ -94,6 +99,12 @@ class FeatureExtractor
 
     /** Reset all histories. */
     void reset();
+
+    /** Serialize the rolling histories (snapshot subsystem). */
+    void saveState(snap::Writer& w) const;
+
+    /** Restore a saveState() image. */
+    void loadState(snap::Reader& r);
 
   private:
     std::uint64_t controlValue(ControlKind kind) const;

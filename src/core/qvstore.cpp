@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/hashing.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::rl {
 
@@ -193,6 +194,27 @@ QVStore::update(const std::vector<std::uint64_t>& s1, std::uint32_t a1,
         r += cfg_.num_planes;
     }
     ++updates_;
+}
+
+void
+QVStore::saveState(snap::Writer& w) const
+{
+    w.vecF32(table_);
+    w.u64(updates_);
+}
+
+void
+QVStore::loadState(snap::Reader& r)
+{
+    std::vector<float> table = r.vecF32();
+    if (table.size() != table_.size())
+        throw snap::CorruptError(
+            "snapshot corrupt: qvstore table has " +
+            std::to_string(table.size()) +
+            " cells but this configuration has " +
+            std::to_string(table_.size()));
+    table_ = std::move(table);
+    updates_ = r.u64();
 }
 
 } // namespace pythia::rl

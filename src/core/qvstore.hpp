@@ -15,6 +15,11 @@
 
 #include "common/types.hpp"
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia::rl {
 
 /** QVStore geometry and learning parameters (paper Table 2 / Table 4). */
@@ -99,6 +104,14 @@ class QVStore
     std::uint64_t updates() const { return updates_; }
 
     const QVStoreConfig& config() const { return cfg_; }
+
+    /** Serialize the full Q table + update count (snapshot subsystem).
+     *  The rows_/scored_ scratch is recomputed per lookup and excluded. */
+    void saveState(snap::Writer& w) const;
+
+    /** Restore a saveState() image of identical geometry.
+     *  @throws snap::CorruptError on table-size mismatch. */
+    void loadState(snap::Reader& r);
 
   private:
     std::uint32_t planeRow(std::uint32_t plane,

@@ -1,29 +1,42 @@
 #include "harness/runner.hpp"
 
 #include <cassert>
+#include <iomanip>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/hashing.hpp"
 #include "harness/session.hpp"
 #include "sim/prefetcher_registry.hpp"
+#include "snapshot/snapshot.hpp"
 #include "workloads/suites.hpp"
 
 namespace pythia::harness {
 
 namespace {
 
-/** Stream one session over @p window_ends, recording every window. */
+/** Stream an already-warmed session over @p window_ends, recording
+ *  every window. */
 TimeSeries
-streamSeries(const ExperimentSpec& spec,
+streamSeries(SimSession session,
              const std::vector<std::uint64_t>& window_ends)
 {
     TimeSeries series;
-    SimSession session(spec);
     session.addObserver(&series);
     for (std::uint64_t end : window_ends)
         session.advance(end - session.instrsAdvanced());
     return series;
+}
+
+/** Cache file for a fingerprint: warm-<fnv1a hex>.snap in @p dir. */
+std::string
+warmCachePath(const std::string& dir, const std::string& fingerprint)
+{
+    std::ostringstream os;
+    os << dir << "/warm-" << std::hex << std::setw(16)
+       << std::setfill('0') << snap::fnv1a(fingerprint) << ".snap";
+    return os.str();
 }
 
 } // namespace
@@ -105,6 +118,67 @@ Runner::baselineKey(const ExperimentSpec& spec)
     return key.str();
 }
 
+void
+Runner::setSnapshotDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_dir_ = std::move(dir);
+}
+
+std::string
+Runner::snapshotDir() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_dir_;
+}
+
+SimSession
+Runner::openWarmSession(const ExperimentSpec& spec)
+{
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dir = snapshot_dir_;
+    }
+    if (dir.empty()) {
+        SimSession session(spec);
+        session.runWarmup();
+        return session;
+    }
+
+    const std::string path = warmCachePath(dir, fingerprintFor(spec));
+    try {
+        SimSession session = SimSession::resumeFrom(spec, path);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++warm_hits_;
+        return session;
+    } catch (const snap::IoError&) {
+        // No cache entry yet — the ordinary cold path, not a fault.
+    } catch (const snap::SnapshotError& e) {
+        // Stale fingerprint, corruption, unsupported version: never
+        // restore silently-wrong state. Warn loudly and re-warm cold.
+        std::cerr << "pythia: ignoring warm-state cache entry " << path
+                  << ":\n  " << e.what() << "\n";
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++warm_misses_;
+    }
+
+    SimSession session(spec);
+    session.runWarmup();
+    try {
+        session.snapshotTo(path);
+    } catch (const snap::UnsupportedError&) {
+        // A prefetcher without snapshot support runs cold, silently —
+        // the cache is an optimization, not a requirement.
+    } catch (const snap::SnapshotError& e) {
+        std::cerr << "pythia: cannot persist warm state to " << path
+                  << ":\n  " << e.what() << "\n";
+    }
+    return session;
+}
+
 Runner::Outcome
 Runner::evaluate(const ExperimentSpec& spec)
 {
@@ -135,7 +209,7 @@ Runner::evaluate(const ExperimentSpec& spec)
             base.prefetcher = "none";
             base.l1_prefetcher = "none";
             base.pythia_cfg.reset();
-            promise.set_value(simulate(base));
+            promise.set_value(openWarmSession(base).runToCompletion());
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
@@ -145,7 +219,7 @@ Runner::evaluate(const ExperimentSpec& spec)
     out.baseline = future.get();
     out.run = (spec.prefetcher == "none" && spec.l1_prefetcher == "none")
                   ? out.baseline
-                  : simulate(spec);
+                  : openWarmSession(spec).runToCompletion();
     out.metrics = computeMetrics(out.run, out.baseline);
     return out;
 }
@@ -201,7 +275,8 @@ Runner::evaluateWindowed(const ExperimentSpec& spec,
             base.prefetcher = "none";
             base.l1_prefetcher = "none";
             base.pythia_cfg.reset();
-            promise.set_value(streamSeries(base, window_ends));
+            promise.set_value(
+                streamSeries(openWarmSession(base), window_ends));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
@@ -211,7 +286,7 @@ Runner::evaluateWindowed(const ExperimentSpec& spec,
     out.baseline = future.get();
     out.run = (spec.prefetcher == "none" && spec.l1_prefetcher == "none")
                   ? out.baseline
-                  : streamSeries(spec, window_ends);
+                  : streamSeries(openWarmSession(spec), window_ends);
     out.final.run = out.run.finalResult();
     out.final.baseline = out.baseline.finalResult();
     out.final.metrics = computeMetrics(out.final.run, out.final.baseline);

@@ -1,11 +1,15 @@
 #include "harness/session.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/table.hpp"
 #include "harness/runner.hpp"
 #include "sim/prefetcher_registry.hpp"
+#include "snapshot/snapshot.hpp"
+#include "workloads/suites.hpp"
 
 namespace pythia::harness {
 
@@ -33,7 +37,121 @@ at(const std::vector<std::uint64_t>& v, std::size_t i)
     return i < v.size() ? v[i] : 0;
 }
 
+// ------------------------------------------- snapshot codec helpers
+
+void
+writeRunResult(snap::Writer& w, const sim::RunResult& r)
+{
+    w.vecF64(r.ipc);
+    w.f64(r.ipc_geomean);
+    w.u64(r.instructions);
+    w.u64(r.llc_demand_load_misses);
+    w.u64(r.llc_read_misses);
+    w.u64(r.prefetch_issued);
+    w.u64(r.prefetch_useful);
+    w.u64(r.prefetch_useless);
+    w.u64(r.prefetch_late);
+    w.vecF64(r.dram_buckets);
+    w.f64(r.dram_utilization);
+    w.vecU64(r.core_cycles);
+    w.vecU64(r.dram_bucket_epochs);
+}
+
+sim::RunResult
+readRunResult(snap::Reader& r)
+{
+    sim::RunResult res;
+    res.ipc = r.vecF64();
+    res.ipc_geomean = r.f64();
+    res.instructions = r.u64();
+    res.llc_demand_load_misses = r.u64();
+    res.llc_read_misses = r.u64();
+    res.prefetch_issued = r.u64();
+    res.prefetch_useful = r.u64();
+    res.prefetch_useless = r.u64();
+    res.prefetch_late = r.u64();
+    res.dram_buckets = r.vecF64();
+    res.dram_utilization = r.f64();
+    res.core_cycles = r.vecU64();
+    res.dram_bucket_epochs = r.vecU64();
+    return res;
+}
+
+void
+writeWindowSample(snap::Writer& w, const WindowSample& s)
+{
+    w.u64(s.index);
+    w.u64(s.instrs_begin);
+    w.u64(s.instrs_end);
+    writeRunResult(w, s.delta);
+    writeRunResult(w, s.cumulative);
+}
+
+WindowSample
+readWindowSample(snap::Reader& r)
+{
+    WindowSample s;
+    s.index = static_cast<std::size_t>(r.u64());
+    s.instrs_begin = r.u64();
+    s.instrs_end = r.u64();
+    s.delta = readRunResult(r);
+    s.cumulative = readRunResult(r);
+    return s;
+}
+
+/** Stable hash of an explicit PythiaConfig: every field that changes
+ *  learned-state evolution participates. */
+std::string
+hashPythiaConfig(const rl::PythiaConfig& cfg)
+{
+    std::ostringstream os;
+    os << cfg.name;
+    for (const auto& f : cfg.features)
+        os << '|' << rl::featureName(f);
+    for (std::int32_t a : cfg.actions)
+        os << '|' << a;
+    os << '|' << cfg.rewards.r_at << '|' << cfg.rewards.r_al << '|'
+       << cfg.rewards.r_cl << '|' << cfg.rewards.r_in_high << '|'
+       << cfg.rewards.r_in_low << '|' << cfg.rewards.r_np_high << '|'
+       << cfg.rewards.r_np_low << '|' << cfg.alpha << '|' << cfg.gamma
+       << '|' << cfg.epsilon << '|' << cfg.eq_size << '|' << cfg.degree
+       << '|' << cfg.planes << '|' << cfg.plane_index_bits << '|'
+       << cfg.seed;
+    std::ostringstream hex;
+    hex << std::hex << std::setw(16) << std::setfill('0')
+        << snap::fnv1a(os.str());
+    return hex.str();
+}
+
 } // namespace
+
+std::string
+fingerprintFor(const ExperimentSpec& spec)
+{
+    std::ostringstream fp;
+    fp << "format=" << snap::kSchemaName << ';';
+    if (spec.mix.empty()) {
+        fp << "workload=" << wl::canonicalWorkloadSpec(spec.workload)
+           << ';';
+    } else {
+        fp << "mix_size=" << spec.mix.size() << ';';
+        for (std::size_t i = 0; i < spec.mix.size(); ++i)
+            fp << "mix" << i << '='
+               << wl::canonicalWorkloadSpec(spec.mix[i]) << ';';
+    }
+    fp << "prefetcher=" << spec.prefetcher << ';'
+       << "l1_prefetcher=" << spec.l1_prefetcher << ';'
+       << "cores=" << spec.num_cores << ';'
+       << "mtps=" << spec.mtps << ';'
+       << "llc_bytes_per_core=" << spec.llc_bytes_per_core << ';'
+       << "warmup_instrs=" << spec.warmup_instrs << ';'
+       << "sim_instrs=" << spec.sim_instrs << ';'
+       << "workload_seed=" << spec.workload_seed << ';'
+       << "pythia_cfg="
+       << (spec.pythia_cfg ? hashPythiaConfig(*spec.pythia_cfg) : "-")
+       << ';';
+    return fp.str();
+}
 
 // -------------------------------------------------------- window algebra
 
@@ -153,6 +271,48 @@ SimSession::SimSession(ExperimentSpec spec) : spec_(std::move(spec))
         if (auto l1 = buildPrefetcher(spec_.l1_prefetcher, std::nullopt))
             system_->attachL1Prefetcher(c, std::move(l1));
     }
+}
+
+void
+SimSession::snapshotTo(const std::string& path) const
+{
+    snap::writeSnapshotFile(
+        path, fingerprintFor(spec_), [this](snap::Writer& w) {
+            w.beginSection("session");
+            w.boolean(warmup_done_);
+            w.boolean(run_ended_);
+            w.u64(advanced_);
+            w.u64(windows_completed_);
+            w.boolean(has_window_);
+            writeRunResult(w, cumulative_);
+            writeWindowSample(w, last_);
+            w.endSection();
+            system_->saveState(w);
+        });
+}
+
+SimSession
+SimSession::resumeFrom(ExperimentSpec spec, const std::string& path)
+{
+    SimSession session(std::move(spec));
+    const snap::SnapshotFile file =
+        snap::readSnapshotFile(path, fingerprintFor(session.spec_));
+    snap::Reader r = file.body();
+    r.enterSection("session");
+    session.warmup_done_ = r.boolean();
+    session.run_ended_ = r.boolean();
+    session.advanced_ = r.u64();
+    session.windows_completed_ = r.u64();
+    session.has_window_ = r.boolean();
+    session.cumulative_ = readRunResult(r);
+    session.last_ = readWindowSample(r);
+    r.leaveSection();
+    session.system_->loadState(r);
+    if (!r.atEnd())
+        throw snap::CorruptError(
+            "snapshot corrupt: " + std::to_string(r.remaining()) +
+            " unconsumed bytes after machine state");
+    return session;
 }
 
 void

@@ -52,6 +52,17 @@ namespace pythia::harness {
 
 class SimSession;
 
+/**
+ * Canonical "key=value;" configuration fingerprint of @p spec, embedded
+ * in every snapshot file and re-checked on restore. Covers every field
+ * that shapes machine state — workload/mix (canonicalized through the
+ * workload registry), both prefetcher specs (warmup trains them),
+ * cores, mtps, LLC size, warmup/sim budgets, seed, and a hash of the
+ * explicit PythiaConfig when present — so a snapshot can never be
+ * restored into a different experiment silently.
+ */
+std::string fingerprintFor(const ExperimentSpec& spec);
+
 /** One measured window of a streamed session. */
 struct WindowSample
 {
@@ -137,6 +148,29 @@ class SimSession
     {
         return SimSession(std::move(spec));
     }
+
+    /**
+     * Write the full session state — lifecycle flags, cumulative/last
+     * window results, and the complete machine (caches, cores, DRAM,
+     * prefetchers, RNG streams) — to @p path as a pythia-snap-v1 file
+     * stamped with fingerprintFor(spec()). Atomic: the file appears
+     * complete or not at all. @throws snap::UnsupportedError when an
+     * attached prefetcher cannot serialize; snap::IoError on I/O
+     * failure.
+     */
+    void snapshotTo(const std::string& path) const;
+
+    /**
+     * Open a session for @p spec and restore the state saved by
+     * snapshotTo(). The snapshot's fingerprint must match
+     * fingerprintFor(spec) exactly (snap::FingerprintError otherwise,
+     * with a field-by-field diff). A session resumed from a
+     * post-warmup snapshot and then advanced is bit-identical to a
+     * cold session running straight through. Observers are not part of
+     * the snapshot — re-register them on the resumed session.
+     */
+    static SimSession resumeFrom(ExperimentSpec spec,
+                                 const std::string& path);
 
     /** Register a non-owning observer (must outlive the session). */
     void addObserver(SessionObserver* observer);

@@ -37,6 +37,9 @@ class BingoPrefetcher : public PrefetcherBase
     void train(const PrefetchAccess& access,
                std::vector<PrefetchRequest>& out) override;
 
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
     /** Blocks per region (32 for 2KB regions). */
     std::uint32_t blocksPerRegion() const { return blocks_per_region_; }
 

@@ -30,6 +30,11 @@ class CompositePrefetcher : public PrefetcherBase
     void onPrefetchEvicted(Addr block, bool used) override;
     void setBandwidthInfo(const BandwidthInfo* bw) override;
 
+    /** Delegates to every child in training order; any child without
+     *  snapshot support propagates its UnsupportedError. */
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
     /** Number of children. */
     std::size_t size() const { return children_.size(); }
 

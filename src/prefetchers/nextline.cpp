@@ -1,6 +1,7 @@
 #include "prefetchers/nextline.hpp"
 
 #include "sim/prefetcher_registry.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::pf {
 
@@ -15,6 +16,17 @@ NextLinePrefetcher::train(const PrefetchAccess& access,
 {
     for (std::uint32_t d = 1; d <= degree_; ++d)
         emitWithinPage(access.block, static_cast<std::int32_t>(d), out);
+}
+
+void
+NextLinePrefetcher::saveState(snap::Writer&) const
+{
+    // No learned state; presence of the override is the whole point.
+}
+
+void
+NextLinePrefetcher::loadState(snap::Reader&)
+{
 }
 
 namespace {

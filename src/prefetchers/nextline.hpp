@@ -19,6 +19,12 @@ class NextLinePrefetcher : public PrefetcherBase
     void train(const PrefetchAccess& access,
                std::vector<PrefetchRequest>& out) override;
 
+    // Stateless: nothing to serialize, but the overrides opt next-line
+    // configurations into snapshot support (the default implementations
+    // throw UnsupportedError).
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
   private:
     std::uint32_t degree_;
 };

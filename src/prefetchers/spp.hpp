@@ -42,6 +42,9 @@ class SppPrefetcher : public PrefetcherBase
     void train(const PrefetchAccess& access,
                std::vector<PrefetchRequest>& out) override;
 
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
     /** Expose the predicted (delta, confidence) list for one signature —
      *  consumed by the PPF wrapper and by unit tests. */
     struct Prediction

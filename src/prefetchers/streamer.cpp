@@ -1,6 +1,7 @@
 #include "prefetchers/streamer.hpp"
 
 #include "sim/prefetcher_registry.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::pf {
 
@@ -73,6 +74,44 @@ StreamerPrefetcher::train(const PrefetchAccess& access,
         for (std::uint32_t d = 1; d <= degree_; ++d)
             emitWithinPage(access.block,
                            s->dir * static_cast<std::int32_t>(d), out);
+    }
+}
+
+void
+StreamerPrefetcher::saveState(snap::Writer& w) const
+{
+    w.u64(tick_);
+    // degree_ is runtime-adjustable (setDegree), hence state not config.
+    w.u32(degree_);
+    w.u64(streams_.size());
+    for (const Stream& s : streams_) {
+        w.u64(s.page);
+        w.i32(s.last_offset);
+        w.i32(s.dir);
+        w.u8(s.confirmations);
+        w.u64(s.lru);
+    }
+}
+
+void
+StreamerPrefetcher::loadState(snap::Reader& r)
+{
+    const std::uint64_t tick = r.u64();
+    const std::uint32_t degree = r.u32();
+    const std::uint64_t n = r.u64();
+    if (n != streams_.size())
+        throw snap::CorruptError(
+            "snapshot corrupt: streamer tracks " + std::to_string(n) +
+            " streams but this configuration has " +
+            std::to_string(streams_.size()));
+    tick_ = tick;
+    degree_ = degree;
+    for (Stream& s : streams_) {
+        s.page = r.u64();
+        s.last_offset = r.i32();
+        s.dir = static_cast<std::int8_t>(r.i32());
+        s.confirmations = r.u8();
+        s.lru = r.u64();
     }
 }
 

@@ -24,6 +24,9 @@ class StreamerPrefetcher : public PrefetcherBase
     void train(const PrefetchAccess& access,
                std::vector<PrefetchRequest>& out) override;
 
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
     /** Adjust the run-ahead distance (used by the POWER7-style wrapper). */
     void setDegree(std::uint32_t degree) { degree_ = degree; }
 

@@ -28,6 +28,9 @@ class StridePrefetcher : public PrefetcherBase
     void train(const PrefetchAccess& access,
                std::vector<PrefetchRequest>& out) override;
 
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
+
   private:
     struct Entry
     {

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "sim/dram.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::sim {
 
@@ -310,6 +311,60 @@ Cache::flush()
         b = Block{};
     inflight_.clear();
     stats_.reset();
+}
+
+void
+Cache::saveState(snap::Writer& w) const
+{
+    // Geometry header so a mismatched restore fails loudly instead of
+    // scattering blocks into the wrong sets.
+    w.u32(sets_);
+    w.u32(cfg_.ways);
+    for (const Block& b : blocks_) {
+        w.u64(b.addr);
+        w.boolean(b.valid);
+        w.boolean(b.dirty);
+        w.boolean(b.prefetched);
+        w.boolean(b.used);
+        w.boolean(b.reused);
+        w.u64(b.fill_time);
+    }
+    // The in-flight min-heap is serialized in its vector layout, which
+    // preserves the heap invariant verbatim on restore.
+    w.vecU64(inflight_);
+    repl_->saveState(w);
+    stats_.saveState(w);
+}
+
+void
+Cache::loadState(snap::Reader& r)
+{
+    const std::uint32_t sets = r.u32();
+    const std::uint32_t ways = r.u32();
+    if (sets != sets_ || ways != cfg_.ways)
+        throw snap::CorruptError(
+            "snapshot corrupt: cache '" + cfg_.name + "' geometry " +
+            std::to_string(sets) + "x" + std::to_string(ways) +
+            " does not match this configuration (" +
+            std::to_string(sets_) + "x" + std::to_string(cfg_.ways) + ")");
+    for (Block& b : blocks_) {
+        b.addr = r.u64();
+        b.valid = r.boolean();
+        b.dirty = r.boolean();
+        b.prefetched = r.boolean();
+        b.used = r.boolean();
+        b.reused = r.boolean();
+        b.fill_time = r.u64();
+    }
+    inflight_ = r.vecU64();
+    if (inflight_.size() > cfg_.mshrs)
+        throw snap::CorruptError(
+            "snapshot corrupt: cache '" + cfg_.name + "' has " +
+            std::to_string(inflight_.size()) +
+            " in-flight misses but only " + std::to_string(cfg_.mshrs) +
+            " MSHRs");
+    repl_->loadState(r);
+    stats_.loadState(r);
 }
 
 } // namespace pythia::sim

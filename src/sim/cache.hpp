@@ -115,6 +115,15 @@ class Cache : public MemoryLevel
 
     const CacheConfig& config() const { return cfg_; }
 
+    /** Serialize contents, in-flight misses, replacement state and
+     *  statistics (snapshot subsystem). The attached prefetcher is NOT
+     *  included — it serializes through its own section. */
+    void saveState(snap::Writer& w) const;
+
+    /** Restore a saveState() image taken from a cache of identical
+     *  geometry. @throws snap::CorruptError on shape mismatch. */
+    void loadState(snap::Reader& r);
+
   private:
     struct Block
     {

@@ -70,6 +70,22 @@ class Core
     const StatGroup& stats() const { return stats_; }
     StatGroup& stats() { return stats_; }
 
+    /** Trace records consumed since construction (snapshot bookkeeping:
+     *  restore replays the workload this far). */
+    std::uint64_t recordsConsumed() const { return records_consumed_; }
+
+    /** Serialize pipeline state + trace position (snapshot subsystem). */
+    void saveState(snap::Writer& w) const;
+
+    /**
+     * Restore a saveState() image. The bound workload is reset() and
+     * fast-forwarded by discarding the serialized number of records —
+     * generators are deterministic functions of their seed, so this
+     * reproduces the exact mid-stream position without serializing
+     * generator internals. @throws snap::CorruptError on ROB mismatch.
+     */
+    void loadState(snap::Reader& r);
+
   private:
     /** Dispatch one instruction completing at @p completion_cycle
      *  (memory ops) or after the fixed execute latency (pass 0). */
@@ -85,6 +101,7 @@ class Core
     Addr addr_offset_;
 
     std::uint64_t instr_count_ = 0;
+    std::uint64_t records_consumed_ = 0;
     std::uint64_t next_dispatch_slot_ = 0;
     std::uint64_t last_retire_slot_ = 0;
     Cycle last_load_done_ = 0; ///< completion of the most recent load

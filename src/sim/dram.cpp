@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/hashing.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::sim {
 
@@ -128,6 +129,51 @@ Dram::resetStats()
     stats_.reset();
     for (auto& b : bucket_epochs_)
         b = 0;
+}
+
+void
+Dram::saveState(snap::Writer& w) const
+{
+    w.u64(banks_.size());
+    for (const Bank& b : banks_) {
+        w.u64(b.next_free);
+        w.u64(b.open_row);
+    }
+    w.vecU64(bus_next_free_);
+    w.u64(epoch_start_);
+    w.u64(busy_in_epoch_);
+    w.f64(util_);
+    for (std::uint64_t b : bucket_epochs_)
+        w.u64(b);
+    stats_.saveState(w);
+}
+
+void
+Dram::loadState(snap::Reader& r)
+{
+    const std::uint64_t n_banks = r.u64();
+    if (n_banks != banks_.size())
+        throw snap::CorruptError(
+            "snapshot corrupt: dram has " + std::to_string(n_banks) +
+            " banks but this configuration has " +
+            std::to_string(banks_.size()));
+    for (Bank& b : banks_) {
+        b.next_free = r.u64();
+        b.open_row = r.u64();
+    }
+    std::vector<Cycle> bus = r.vecU64();
+    if (bus.size() != bus_next_free_.size())
+        throw snap::CorruptError(
+            "snapshot corrupt: dram has " + std::to_string(bus.size()) +
+            " channels but this configuration has " +
+            std::to_string(bus_next_free_.size()));
+    bus_next_free_ = std::move(bus);
+    epoch_start_ = r.u64();
+    busy_in_epoch_ = r.u64();
+    util_ = r.f64();
+    for (auto& b : bucket_epochs_)
+        b = r.u64();
+    stats_.loadState(r);
 }
 
 } // namespace pythia::sim

@@ -18,6 +18,11 @@
 #include "common/types.hpp"
 #include "sim/prefetcher_api.hpp"
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia::sim {
 
 /** DRAM configuration; defaults model single-channel DDR4-2400 at a 4GHz
@@ -97,6 +102,14 @@ class Dram : public BandwidthInfo
     void resetStats();
 
     const DramConfig& config() const { return cfg_; }
+
+    /** Serialize bank/bus timing state + bandwidth monitor + statistics
+     *  (snapshot subsystem). */
+    void saveState(snap::Writer& w) const;
+
+    /** Restore a saveState() image from an identical DRAM geometry.
+     *  @throws snap::CorruptError on shape mismatch. */
+    void loadState(snap::Reader& r);
 
   private:
     struct Bank

@@ -1,0 +1,23 @@
+#include "sim/prefetcher_api.hpp"
+
+#include "snapshot/codec.hpp"
+
+namespace pythia::sim {
+
+void
+PrefetcherApi::saveState(snap::Writer&) const
+{
+    throw snap::UnsupportedError(
+        "prefetcher '" + name() +
+        "' does not support state snapshots (saveState not implemented)");
+}
+
+void
+PrefetcherApi::loadState(snap::Reader&)
+{
+    throw snap::UnsupportedError(
+        "prefetcher '" + name() +
+        "' does not support state snapshots (loadState not implemented)");
+}
+
+} // namespace pythia::sim

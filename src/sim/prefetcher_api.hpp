@@ -15,6 +15,11 @@
 
 #include "common/types.hpp"
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia::sim {
 
 /** A demand access as seen by a prefetcher's cache level. */
@@ -101,6 +106,19 @@ class PrefetcherApi
 
     /** Metadata storage cost in bytes (paper Table 7 comparisons). */
     virtual std::size_t storageBytes() const = 0;
+
+    /**
+     * Serialize all learned/tracked state (snapshot subsystem). The
+     * default implementation throws snap::UnsupportedError, so a
+     * configuration containing a prefetcher without serialization
+     * support fails a snapshot request loudly instead of silently
+     * dropping its state.
+     */
+    virtual void saveState(snap::Writer& w) const;
+
+    /** Restore a saveState() image. Defaults to snap::UnsupportedError
+     *  like saveState(). */
+    virtual void loadState(snap::Reader& r);
 };
 
 } // namespace pythia::sim

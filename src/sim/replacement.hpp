@@ -13,6 +13,11 @@
 
 #include "common/types.hpp"
 
+namespace pythia::snap {
+class Writer;
+class Reader;
+} // namespace pythia::snap
+
 namespace pythia::sim {
 
 /** Per-access context handed to the replacement policy. */
@@ -52,6 +57,13 @@ class ReplacementPolicy
 
     /** Policy display name. */
     virtual const std::string& name() const = 0;
+
+    /** Serialize all victim-selection state (snapshot subsystem). */
+    virtual void saveState(snap::Writer& w) const = 0;
+
+    /** Restore a saveState() image taken from a policy of the same kind
+     *  and geometry. @throws snap::CorruptError on mismatch. */
+    virtual void loadState(snap::Reader& r) = 0;
 };
 
 /** Classic least-recently-used stack implemented with a global timestamp. */
@@ -68,6 +80,8 @@ class LruPolicy : public ReplacementPolicy
     void onEvict(std::uint32_t set, std::uint32_t way,
                  bool was_reused) override;
     const std::string& name() const override { return name_; }
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
 
   private:
     void touch(std::uint32_t set, std::uint32_t way);
@@ -100,6 +114,8 @@ class ShipPolicy : public ReplacementPolicy
     void onEvict(std::uint32_t set, std::uint32_t way,
                  bool was_reused) override;
     const std::string& name() const override { return name_; }
+    void saveState(snap::Writer& w) const override;
+    void loadState(snap::Reader& r) override;
 
   private:
     static constexpr std::uint8_t kMaxRrpv = 3;

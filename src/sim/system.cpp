@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/table.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::sim {
 
@@ -262,6 +263,94 @@ System::run(std::uint64_t instrs_per_core)
     beginMeasurement();
     stepMeasuredTo(instrs_per_core);
     return collectResult();
+}
+
+void
+System::saveState(snap::Writer& w) const
+{
+    w.beginSection("machine");
+    w.u32(cfg_.num_cores);
+    w.u64(prefetchers_.size());
+    w.boolean(measuring_);
+    w.u64(measured_instrs_);
+    w.vecU64(measure_origin_);
+    w.vecU64(measured_cycles_);
+    w.endSection();
+
+    w.beginSection("dram");
+    dram_->saveState(w);
+    w.endSection();
+
+    w.beginSection("llc");
+    llc_->saveState(w);
+    w.endSection();
+
+    for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
+        w.beginSection("l2." + std::to_string(c));
+        l2_[c]->saveState(w);
+        w.endSection();
+        w.beginSection("l1." + std::to_string(c));
+        l1_[c]->saveState(w);
+        w.endSection();
+        w.beginSection("core." + std::to_string(c));
+        cores_[c]->saveState(w);
+        w.endSection();
+    }
+
+    for (std::size_t i = 0; i < prefetchers_.size(); ++i) {
+        w.beginSection("pf." + std::to_string(i));
+        prefetchers_[i]->saveState(w);
+        w.endSection();
+    }
+}
+
+void
+System::loadState(snap::Reader& r)
+{
+    r.enterSection("machine");
+    const std::uint32_t num_cores = r.u32();
+    if (num_cores != cfg_.num_cores)
+        throw snap::CorruptError(
+            "snapshot corrupt: machine has " + std::to_string(num_cores) +
+            " cores but this configuration has " +
+            std::to_string(cfg_.num_cores));
+    const std::uint64_t num_pf = r.u64();
+    if (num_pf != prefetchers_.size())
+        throw snap::CorruptError(
+            "snapshot corrupt: machine has " + std::to_string(num_pf) +
+            " prefetchers but this configuration has " +
+            std::to_string(prefetchers_.size()));
+    measuring_ = r.boolean();
+    measured_instrs_ = r.u64();
+    measure_origin_ = r.vecU64();
+    measured_cycles_ = r.vecU64();
+    r.leaveSection();
+
+    r.enterSection("dram");
+    dram_->loadState(r);
+    r.leaveSection();
+
+    r.enterSection("llc");
+    llc_->loadState(r);
+    r.leaveSection();
+
+    for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
+        r.enterSection("l2." + std::to_string(c));
+        l2_[c]->loadState(r);
+        r.leaveSection();
+        r.enterSection("l1." + std::to_string(c));
+        l1_[c]->loadState(r);
+        r.leaveSection();
+        r.enterSection("core." + std::to_string(c));
+        cores_[c]->loadState(r);
+        r.leaveSection();
+    }
+
+    for (std::size_t i = 0; i < prefetchers_.size(); ++i) {
+        r.enterSection("pf." + std::to_string(i));
+        prefetchers_[i]->loadState(r);
+        r.leaveSection();
+    }
 }
 
 } // namespace pythia::sim

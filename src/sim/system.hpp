@@ -145,6 +145,24 @@ class System
     /** Measured instructions per core since beginMeasurement(). */
     std::uint64_t measuredInstrs() const { return measured_instrs_; }
 
+    /**
+     * Serialize the complete machine state as named sections —
+     * "machine" (measurement bookkeeping), "dram", "llc", then
+     * "l2.<c>"/"l1.<c>"/"core.<c>" per core and "pf.<i>" per attached
+     * prefetcher in attach order (snapshot subsystem, DESIGN.md §9).
+     * @throws snap::UnsupportedError when an attached prefetcher does
+     * not implement serialization.
+     */
+    void saveState(snap::Writer& w) const;
+
+    /**
+     * Restore a saveState() image into an identically-configured
+     * machine. Workload positions are re-derived by deterministic
+     * replay (see Core::loadState). @throws snap::CorruptError on any
+     * structural mismatch.
+     */
+    void loadState(snap::Reader& r);
+
     Dram& dram() { return *dram_; }
     Cache& llc() { return *llc_; }
     Cache& l2(std::uint32_t core) { return *l2_[core]; }

@@ -1,0 +1,627 @@
+/**
+ * @file
+ * Snapshot subsystem property tests (ctest label: property).
+ *
+ * Covers the pythia-snap-v1 stack bottom-up: codec primitive round
+ * trips and section discipline, the file container's validation order
+ * and corruption taxonomy (each failure mode its own typed error),
+ * configuration fingerprints, StatGroup serialization, SimSession
+ * snapshot/resume equivalence (post-warmup and mid-run), the
+ * UnsupportedError contract for prefetchers without serialization,
+ * and the Runner warm-state cache — including byte-identical warm
+ * results and the loud-fallback path for corrupt cache entries.
+ * The full golden-grid restore→advance gate lives in
+ * test_snapshot_golden.cpp (label: golden).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+#include "harness/session.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace pythia {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+tmpPath(const std::string& name)
+{
+    return (fs::path(::testing::TempDir()) / name).string();
+}
+
+/** A guaranteed-fresh cache directory (runs must not inherit entries
+ *  from an earlier test invocation sharing the temp directory). */
+std::string
+freshDir(const std::string& name)
+{
+    const std::string dir = tmpPath(name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f) << path;
+    return {std::istreambuf_iterator<char>(f),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeFileBytes(const std::string& path,
+               const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(f) << path;
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Field-for-field bit-exact RunResult comparison (doubles with ==;
+ *  the golden suite pins the same way). */
+void
+expectSameResult(const sim::RunResult& a, const sim::RunResult& b,
+                 const std::string& what)
+{
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.ipc_geomean, b.ipc_geomean) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.llc_demand_load_misses, b.llc_demand_load_misses) << what;
+    EXPECT_EQ(a.llc_read_misses, b.llc_read_misses) << what;
+    EXPECT_EQ(a.prefetch_issued, b.prefetch_issued) << what;
+    EXPECT_EQ(a.prefetch_useful, b.prefetch_useful) << what;
+    EXPECT_EQ(a.prefetch_useless, b.prefetch_useless) << what;
+    EXPECT_EQ(a.prefetch_late, b.prefetch_late) << what;
+    EXPECT_EQ(a.dram_buckets, b.dram_buckets) << what;
+    EXPECT_EQ(a.dram_utilization, b.dram_utilization) << what;
+    EXPECT_EQ(a.core_cycles, b.core_cycles) << what;
+    EXPECT_EQ(a.dram_bucket_epochs, b.dram_bucket_epochs) << what;
+}
+
+/** A small, cheap spec that still exercises the full Pythia stack
+ *  (QVStore, EQ, feature extractor, RNG). */
+harness::ExperimentSpec
+smallPythiaSpec()
+{
+    return harness::Experiment("462.libquantum-1343B")
+        .l2("pythia")
+        .warmup(10'000)
+        .measure(20'000)
+        .spec();
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(SnapCodec, PrimitivesRoundTrip)
+{
+    snap::Writer w;
+    w.u8(0xAB);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    w.i32(-42);
+    w.i64(-1234567890123ll);
+    w.boolean(true);
+    w.boolean(false);
+    w.f32(1.5f);
+    w.f64(-0.1); // not exactly representable: bit pattern must survive
+    w.str("hello");
+    w.vecU8({1, 2, 3});
+    w.vecU32({10, 20});
+    w.vecU64({1ull << 60});
+    w.vecF32({0.25f});
+    w.vecF64({1e-300, -0.0});
+
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.i64(), -1234567890123ll);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.f32(), 1.5f);
+    EXPECT_EQ(r.f64(), -0.1);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.vecU8(), (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(r.vecU32(), (std::vector<std::uint32_t>{10, 20}));
+    EXPECT_EQ(r.vecU64(), (std::vector<std::uint64_t>{1ull << 60}));
+    EXPECT_EQ(r.vecF32(), (std::vector<float>{0.25f}));
+    const auto f64s = r.vecF64();
+    ASSERT_EQ(f64s.size(), 2u);
+    EXPECT_EQ(f64s[0], 1e-300);
+    // -0.0 == 0.0 under ==, so check the sign bit survived explicitly.
+    EXPECT_TRUE(std::signbit(f64s[1]));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapCodec, SectionsNestAndMustBalanceExactly)
+{
+    snap::Writer w;
+    w.beginSection("outer");
+    w.u32(1);
+    w.beginSection("inner");
+    w.u64(2);
+    w.endSection();
+    w.endSection();
+
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    r.enterSection("outer");
+    EXPECT_EQ(r.u32(), 1u);
+    r.enterSection("inner");
+    EXPECT_EQ(r.u64(), 2u);
+    r.leaveSection();
+    r.leaveSection();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapCodec, UnderConsumedSectionThrows)
+{
+    snap::Writer w;
+    w.beginSection("s");
+    w.u32(1);
+    w.u32(2);
+    w.endSection();
+
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    r.enterSection("s");
+    (void)r.u32(); // leave 4 bytes unread
+    EXPECT_THROW(r.leaveSection(), snap::CorruptError);
+}
+
+TEST(SnapCodec, ReadPastSectionEndThrows)
+{
+    snap::Writer w;
+    w.beginSection("s");
+    w.u32(1);
+    w.endSection();
+    w.u64(99); // bytes after the section must be unreachable inside it
+
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    r.enterSection("s");
+    (void)r.u32();
+    EXPECT_THROW((void)r.u8(), snap::CorruptError);
+}
+
+TEST(SnapCodec, WrongSectionNameThrows)
+{
+    snap::Writer w;
+    w.beginSection("actual");
+    w.endSection();
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    EXPECT_THROW(r.enterSection("expected"), snap::CorruptError);
+}
+
+TEST(SnapCodec, InvalidBoolEncodingThrows)
+{
+    snap::Writer w;
+    w.u8(2);
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    EXPECT_THROW((void)r.boolean(), snap::CorruptError);
+}
+
+TEST(SnapCodec, TruncatedBufferThrows)
+{
+    snap::Writer w;
+    w.u32(7);
+    snap::Reader r(w.buffer().data(), 2); // half the u32
+    EXPECT_THROW((void)r.u32(), snap::CorruptError);
+}
+
+TEST(SnapCodec, UnclosedSectionIsALogicError)
+{
+    snap::Writer w;
+    w.beginSection("open");
+    EXPECT_THROW((void)w.buffer(), std::logic_error);
+}
+
+// --------------------------------------------------------------- StatGroup
+
+TEST(SnapStats, StatGroupRoundTripPreservesSlotPointers)
+{
+    StatGroup g("g");
+    g.inc("hits", 7);
+    g.inc("misses", 3);
+    g.set("ipc", 1.25);
+    std::uint64_t* slot = g.counterSlot("hits");
+
+    snap::Writer w;
+    g.saveState(w);
+
+    g.inc("hits", 100); // diverge after the snapshot
+    g.set("ipc", 9.0);
+
+    snap::Reader r(w.buffer().data(), w.buffer().size());
+    g.loadState(r);
+    EXPECT_EQ(g.counter("hits"), 7u);
+    EXPECT_EQ(g.counter("misses"), 3u);
+    EXPECT_EQ(g.value("ipc"), 1.25);
+    // The hot-path contract: the pre-load slot pointer still reads the
+    // restored value.
+    EXPECT_EQ(*slot, 7u);
+}
+
+// ----------------------------------------------------------- file container
+
+TEST(SnapFile, WriteReadRoundTrip)
+{
+    const std::string path = tmpPath("roundtrip.snap");
+    snap::writeSnapshotFile(path, "cores=1;", [](snap::Writer& w) {
+        w.beginSection("payload");
+        w.u64(42);
+        w.endSection();
+    });
+
+    const snap::SnapshotFile sf = snap::readSnapshotFile(path, "cores=1;");
+    EXPECT_EQ(sf.version, snap::kFormatVersion);
+    EXPECT_EQ(sf.fingerprint, "cores=1;");
+    snap::Reader r = sf.body();
+    r.enterSection("payload");
+    EXPECT_EQ(r.u64(), 42u);
+    r.leaveSection();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapFile, MissingFileIsIoError)
+{
+    EXPECT_THROW(snap::readSnapshotFile(tmpPath("nonexistent.snap"), ""),
+                 snap::IoError);
+}
+
+TEST(SnapFile, TruncatedFileIsCorruptError)
+{
+    const std::string path = tmpPath("truncated.snap");
+    snap::writeSnapshotFile(path, "k=v;", [](snap::Writer& w) {
+        w.beginSection("s");
+        w.vecU64(std::vector<std::uint64_t>(64, 7));
+        w.endSection();
+    });
+    auto bytes = readFileBytes(path);
+    bytes.resize(bytes.size() / 2);
+    writeFileBytes(path, bytes);
+    EXPECT_THROW(snap::readSnapshotFile(path, "k=v;"), snap::CorruptError);
+}
+
+TEST(SnapFile, FlippedByteIsCorruptError)
+{
+    const std::string path = tmpPath("bitrot.snap");
+    snap::writeSnapshotFile(path, "k=v;", [](snap::Writer& w) {
+        w.beginSection("s");
+        w.u64(7);
+        w.endSection();
+    });
+    auto bytes = readFileBytes(path);
+    bytes[bytes.size() / 2] ^= 0x40; // one flipped bit mid-file
+    writeFileBytes(path, bytes);
+    EXPECT_THROW(snap::readSnapshotFile(path, "k=v;"), snap::CorruptError);
+}
+
+TEST(SnapFile, WrongVersionIsVersionError)
+{
+    const std::string path = tmpPath("version.snap");
+    snap::writeSnapshotFile(path, "k=v;", [](snap::Writer& w) {
+        w.beginSection("s");
+        w.endSection();
+    });
+    auto bytes = readFileBytes(path);
+    bytes[sizeof(snap::kMagic)] = 99; // version u32 follows the magic
+    writeFileBytes(path, bytes);
+    EXPECT_THROW(snap::readSnapshotFile(path, "k=v;"), snap::VersionError);
+}
+
+TEST(SnapFile, BadMagicIsCorruptError)
+{
+    const std::string path = tmpPath("magic.snap");
+    snap::writeSnapshotFile(path, "k=v;", [](snap::Writer& w) {
+        w.beginSection("s");
+        w.endSection();
+    });
+    auto bytes = readFileBytes(path);
+    bytes[0] = 'X';
+    writeFileBytes(path, bytes);
+    EXPECT_THROW(snap::readSnapshotFile(path, "k=v;"), snap::CorruptError);
+}
+
+TEST(SnapFile, FingerprintMismatchDiagnosesFields)
+{
+    const std::string path = tmpPath("fingerprint.snap");
+    snap::writeSnapshotFile(path, "workload=a;cores=1;seed=0;",
+                            [](snap::Writer& w) {
+                                w.beginSection("s");
+                                w.endSection();
+                            });
+    try {
+        snap::readSnapshotFile(path, "workload=a;cores=4;seed=0;");
+        FAIL() << "expected FingerprintError";
+    } catch (const snap::FingerprintError& e) {
+        const std::string msg = e.what();
+        // The did-you-mean diff names the differing field and both
+        // values — a stale cache must be diagnosable from the message.
+        EXPECT_NE(msg.find("cores"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'1'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'4'"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("workload:"), std::string::npos) << msg;
+    }
+}
+
+TEST(SnapFile, InspectReportsSectionsAndChecksum)
+{
+    const std::string path = tmpPath("inspect.snap");
+    snap::writeSnapshotFile(path, "k=v;", [](snap::Writer& w) {
+        w.beginSection("alpha");
+        w.u64(1);
+        w.endSection();
+        w.beginSection("beta");
+        w.u32(2);
+        w.endSection();
+    });
+    const snap::SnapshotInfo info = snap::inspectSnapshotFile(path);
+    EXPECT_TRUE(info.checksum_ok);
+    EXPECT_EQ(info.fingerprint, "k=v;");
+    ASSERT_EQ(info.sections.size(), 2u);
+    EXPECT_EQ(info.sections[0].name, "alpha");
+    EXPECT_EQ(info.sections[0].length, 8u);
+    EXPECT_EQ(info.sections[1].name, "beta");
+    EXPECT_EQ(info.sections[1].length, 4u);
+
+    // A flipped byte shows up as a reported (not thrown) bad checksum.
+    auto bytes = readFileBytes(path);
+    bytes[info.sections[0].offset] ^= 1;
+    writeFileBytes(path, bytes);
+    EXPECT_FALSE(snap::inspectSnapshotFile(path).checksum_ok);
+}
+
+// -------------------------------------------------------------- fingerprint
+
+TEST(SnapFingerprint, CoversEveryStateShapingField)
+{
+    const harness::ExperimentSpec base = smallPythiaSpec();
+    const std::string fp = harness::fingerprintFor(base);
+
+    auto differs = [&](harness::ExperimentSpec s) {
+        return harness::fingerprintFor(s) != fp;
+    };
+    harness::ExperimentSpec s = base;
+    s.prefetcher = "spp";
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.l1_prefetcher = "nextline";
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.num_cores = 4;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.warmup_instrs += 1;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.sim_instrs += 1;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.workload_seed = 99;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.mtps = 4800;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.llc_bytes_per_core *= 2;
+    EXPECT_TRUE(differs(s));
+    s = base;
+    s.workload = "429.mcf-184B";
+    EXPECT_TRUE(differs(s));
+}
+
+TEST(SnapFingerprint, CanonicalizesWorkloadSpellings)
+{
+    // Two spellings of one parameterized workload spec construct the
+    // same stream and must share one fingerprint (and so one warm
+    // cache entry).
+    harness::ExperimentSpec a = smallPythiaSpec();
+    a.workload = "stream:footprint=4M,mem_ratio=0.4";
+    harness::ExperimentSpec b = a;
+    b.workload = "stream:mem_ratio=0.4,footprint=4M";
+    EXPECT_EQ(harness::fingerprintFor(a), harness::fingerprintFor(b));
+}
+
+// ------------------------------------------------------------------ session
+
+TEST(SnapSession, PostWarmupResumeMatchesStraightThrough)
+{
+    const harness::ExperimentSpec spec = smallPythiaSpec();
+    const std::string path = tmpPath("warm-session.snap");
+
+    harness::SimSession cold(spec);
+    cold.runWarmup();
+    cold.snapshotTo(path);
+    const sim::RunResult straight = cold.runToCompletion();
+
+    harness::SimSession resumed =
+        harness::SimSession::resumeFrom(spec, path);
+    EXPECT_TRUE(resumed.warmupDone());
+    EXPECT_EQ(resumed.instrsAdvanced(), 0u);
+    const sim::RunResult replayed = resumed.runToCompletion();
+
+    expectSameResult(straight, replayed, "post-warmup resume");
+}
+
+TEST(SnapSession, MidRunResumeMatchesStraightThrough)
+{
+    const harness::ExperimentSpec spec = smallPythiaSpec();
+    const std::string path = tmpPath("midrun-session.snap");
+
+    harness::SimSession cold(spec);
+    cold.advance(spec.sim_instrs / 2);
+    cold.snapshotTo(path);
+    const sim::RunResult straight = cold.runToCompletion();
+
+    harness::SimSession resumed =
+        harness::SimSession::resumeFrom(spec, path);
+    EXPECT_EQ(resumed.instrsAdvanced(), spec.sim_instrs / 2);
+    EXPECT_EQ(resumed.windowsCompleted(), 1u);
+    const sim::RunResult replayed = resumed.runToCompletion();
+
+    expectSameResult(straight, replayed, "mid-run resume");
+}
+
+TEST(SnapSession, SnapshotFileHasTheDocumentedSections)
+{
+    const harness::ExperimentSpec spec = smallPythiaSpec();
+    const std::string path = tmpPath("layout.snap");
+    harness::SimSession session(spec);
+    session.runWarmup();
+    session.snapshotTo(path);
+
+    const snap::SnapshotInfo info = snap::inspectSnapshotFile(path);
+    EXPECT_TRUE(info.checksum_ok);
+    EXPECT_EQ(info.fingerprint, harness::fingerprintFor(spec));
+    std::vector<std::string> names;
+    for (const auto& s : info.sections)
+        names.push_back(s.name);
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"session", "machine", "dram",
+                                        "llc", "l2.0", "l1.0", "core.0",
+                                        "pf.0"}));
+}
+
+TEST(SnapSession, ResumeUnderDifferentSpecIsFingerprintError)
+{
+    const harness::ExperimentSpec spec = smallPythiaSpec();
+    const std::string path = tmpPath("stale.snap");
+    harness::SimSession session(spec);
+    session.runWarmup();
+    session.snapshotTo(path);
+
+    harness::ExperimentSpec other = spec;
+    other.prefetcher = "spp";
+    EXPECT_THROW(harness::SimSession::resumeFrom(other, path),
+                 snap::FingerprintError);
+}
+
+TEST(SnapSession, PrefetcherWithoutSerializationIsUnsupportedError)
+{
+    // dspatch deliberately has no saveState override: snapshotTo must
+    // refuse loudly instead of writing a partial machine.
+    harness::ExperimentSpec spec = smallPythiaSpec();
+    spec.prefetcher = "dspatch";
+    harness::SimSession session(spec);
+    session.runWarmup();
+    try {
+        session.snapshotTo(tmpPath("unsupported.snap"));
+        FAIL() << "expected UnsupportedError";
+    } catch (const snap::UnsupportedError& e) {
+        EXPECT_NE(std::string(e.what()).find("dspatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ----------------------------------------------------------- warm cache
+
+TEST(SnapWarmCache, WarmRunReproducesColdRunByteIdentically)
+{
+    const harness::ExperimentSpec spec = smallPythiaSpec();
+    const std::string dir = freshDir("warm-cache-a");
+
+    harness::Runner uncached;
+    const harness::Runner::Outcome want = uncached.evaluate(spec);
+
+    harness::Runner cold_runner;
+    cold_runner.setSnapshotDir(dir);
+    const harness::Runner::Outcome cold = cold_runner.evaluate(spec);
+    EXPECT_EQ(cold_runner.warmHits(), 0u);
+    EXPECT_EQ(cold_runner.warmMisses(), 2u); // run + baseline
+
+    harness::Runner warm_runner;
+    warm_runner.setSnapshotDir(dir);
+    const harness::Runner::Outcome warm = warm_runner.evaluate(spec);
+    EXPECT_EQ(warm_runner.warmHits(), 2u);
+    EXPECT_EQ(warm_runner.warmMisses(), 0u);
+
+    expectSameResult(want.run, cold.run, "cold run, cache populating");
+    expectSameResult(want.baseline, cold.baseline, "cold baseline");
+    expectSameResult(want.run, warm.run, "warm run");
+    expectSameResult(want.baseline, warm.baseline, "warm baseline");
+}
+
+TEST(SnapWarmCache, CorruptCacheEntryFallsBackCold)
+{
+    const harness::ExperimentSpec spec = smallPythiaSpec();
+    const std::string dir = freshDir("warm-cache-b");
+
+    harness::Runner populate;
+    populate.setSnapshotDir(dir);
+    const harness::Runner::Outcome want = populate.evaluate(spec);
+
+    // Flip one byte in every cache entry: the next runner must warn,
+    // re-warm cold, and still produce the identical outcome (and leave
+    // repaired cache entries behind).
+    std::size_t corrupted = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        auto bytes = readFileBytes(entry.path().string());
+        bytes[bytes.size() / 2] ^= 0x01;
+        writeFileBytes(entry.path().string(), bytes);
+        ++corrupted;
+    }
+    ASSERT_EQ(corrupted, 2u); // run + baseline entries
+
+    harness::Runner recover;
+    recover.setSnapshotDir(dir);
+    const harness::Runner::Outcome got = recover.evaluate(spec);
+    EXPECT_EQ(recover.warmHits(), 0u);
+    EXPECT_EQ(recover.warmMisses(), 2u);
+    expectSameResult(want.run, got.run, "corrupt-cache fallback run");
+    expectSameResult(want.baseline, got.baseline,
+                     "corrupt-cache fallback baseline");
+
+    harness::Runner repaired;
+    repaired.setSnapshotDir(dir);
+    const harness::Runner::Outcome again = repaired.evaluate(spec);
+    EXPECT_EQ(repaired.warmHits(), 2u);
+    expectSameResult(want.run, again.run, "repaired cache run");
+}
+
+TEST(SnapWarmCache, UnsupportedPrefetcherRunsColdWithoutCacheEntry)
+{
+    harness::ExperimentSpec spec = smallPythiaSpec();
+    spec.prefetcher = "dspatch";
+    const std::string dir = freshDir("warm-cache-c");
+
+    harness::Runner uncached;
+    const harness::Runner::Outcome want = uncached.evaluate(spec);
+
+    harness::Runner runner;
+    runner.setSnapshotDir(dir);
+    const harness::Runner::Outcome got = runner.evaluate(spec);
+    expectSameResult(want.run, got.run, "unsupported prefetcher run");
+
+    // The baseline (prefetcher "none") caches fine; the dspatch run
+    // must not leave an entry behind.
+    std::size_t entries = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+
+    harness::Runner warm;
+    warm.setSnapshotDir(dir);
+    const harness::Runner::Outcome again = warm.evaluate(spec);
+    EXPECT_EQ(warm.warmHits(), 1u);  // baseline only
+    EXPECT_EQ(warm.warmMisses(), 1u);
+    expectSameResult(want.run, again.run, "unsupported prefetcher rerun");
+}
+
+} // namespace
+} // namespace pythia

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Inspect pythia-snap-v1 snapshot files without restoring them: dump
+ * the header (version, fingerprint, checksum verdict) and the section
+ * layout (name, offset, length, payload digest), or diff two snapshots
+ * section by section to localize where the state of two runs diverged
+ * (DESIGN.md §9).
+ *
+ * Usage:
+ *   snapshot_inspect <file.snap>            # dump header + sections
+ *   snapshot_inspect <a.snap> <b.snap>      # diff the two snapshots
+ *
+ * Inspection tolerates a bad trailing checksum (it is reported, not
+ * thrown) so a corrupt file can still be dumped and diagnosed; files
+ * too malformed to walk (bad magic, truncated sections, unsupported
+ * version) terminate with the typed error's message and exit code 1.
+ * Diff exit codes follow cmp/diff convention: 0 identical bodies,
+ * 1 differing, 2 usage or read errors.
+ */
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+using pythia::snap::SectionInfo;
+using pythia::snap::SnapshotInfo;
+
+std::string
+hex64(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
+void
+dump(const std::string& path, const SnapshotInfo& info)
+{
+    std::cout << path << "\n"
+              << "  format:      pythia-snap-v" << info.version << "\n"
+              << "  size:        " << info.file_bytes << " bytes\n"
+              << "  checksum:    "
+              << (info.checksum_ok
+                      ? "ok (" + hex64(info.checksum_stored) + ")"
+                      : "MISMATCH (stored " + hex64(info.checksum_stored) +
+                            ", computed " + hex64(info.checksum_computed) +
+                            ")")
+              << "\n"
+              << "  fingerprint: " << info.fingerprint << "\n"
+              << "  sections:    " << info.sections.size() << "\n";
+    for (const SectionInfo& s : info.sections)
+        std::cout << "    " << std::left << std::setw(12) << s.name
+                  << std::right << " offset=" << std::setw(8) << s.offset
+                  << " length=" << std::setw(8) << s.length
+                  << " digest=" << hex64(s.digest) << "\n";
+}
+
+int
+diff(const std::string& path_a, const SnapshotInfo& a,
+     const std::string& path_b, const SnapshotInfo& b)
+{
+    bool differ = false;
+    auto report = [&](const std::string& line) {
+        differ = true;
+        std::cout << line << "\n";
+    };
+
+    if (a.fingerprint != b.fingerprint) {
+        const std::string fp_diff =
+            pythia::snap::diffFingerprints(a.fingerprint, b.fingerprint);
+        report("fingerprints differ:");
+        std::cout << "  " << fp_diff << "\n";
+    }
+
+    // Index b's sections by name; section order is part of the format,
+    // but diffing by name localizes renames/reorders too.
+    std::vector<const SectionInfo*> b_left;
+    for (const SectionInfo& sb : b.sections)
+        b_left.push_back(&sb);
+    for (const SectionInfo& sa : a.sections) {
+        const SectionInfo* match = nullptr;
+        for (auto it = b_left.begin(); it != b_left.end(); ++it)
+            if ((*it)->name == sa.name) {
+                match = *it;
+                b_left.erase(it);
+                break;
+            }
+        if (!match) {
+            report("section '" + sa.name + "' only in " + path_a);
+            continue;
+        }
+        if (sa.length != match->length)
+            report("section '" + sa.name + "' length: " +
+                   std::to_string(sa.length) + " vs " +
+                   std::to_string(match->length));
+        else if (sa.digest != match->digest)
+            report("section '" + sa.name + "' payload differs (digest " +
+                   hex64(sa.digest) + " vs " + hex64(match->digest) + ")");
+    }
+    for (const SectionInfo* sb : b_left)
+        report("section '" + sb->name + "' only in " + path_b);
+
+    if (!differ) {
+        std::cout << "snapshots are identical (" << a.sections.size()
+                  << " sections)\n";
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::cerr << "usage: snapshot_inspect <file.snap> [other.snap]\n";
+        return 2;
+    }
+    try {
+        const SnapshotInfo a =
+            pythia::snap::inspectSnapshotFile(argv[1]);
+        if (argc == 2) {
+            dump(argv[1], a);
+            return a.checksum_ok ? 0 : 1;
+        }
+        const SnapshotInfo b =
+            pythia::snap::inspectSnapshotFile(argv[2]);
+        return diff(argv[1], a, argv[2], b);
+    } catch (const pythia::snap::SnapshotError& e) {
+        std::cerr << "snapshot_inspect: " << e.what() << "\n";
+        return argc == 2 ? 1 : 2;
+    }
+}
