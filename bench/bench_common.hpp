@@ -17,6 +17,10 @@
  * sweep it ran; quiet=1 suppresses the per-sweep stderr throughput line
  * so redirecting both streams yields clean CSV.
  *
+ * Profiling (DESIGN.md §10): profile=1 wraps the bench's measured
+ * region in a harness::ScopedProfiler — gperftools CPU profile when
+ * libprofiler is linked/preloaded, perf-marker stderr lines otherwise.
+ *
  * Warm-state caching (DESIGN.md §9): snapshot_dir=<dir> persists every
  * post-warmup machine state as a pythia-snap-v1 file in <dir> and
  * restores it on later runs with the same configuration fingerprint,
@@ -42,6 +46,7 @@
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
 #include "harness/perf.hpp"
+#include "harness/profiler.hpp"
 #include "harness/sweep.hpp"
 #include "harness/timeseries.hpp"
 #include "workloads/suites.hpp"
@@ -58,6 +63,7 @@ struct BenchOptions
     double sim_scale = 1.0; ///< multiplies both simulation windows
     unsigned jobs = 0;      ///< worker threads; 0 = hardware concurrency
     bool quiet = false;     ///< suppress the stderr throughput line
+    bool profile = false;   ///< profile=1: profile the measured region
     std::string perf_out;   ///< perf JSON path; empty = no artifact
     std::string snapshot_dir; ///< warm-state cache dir; empty = off
     Config cli;             ///< full parse, for bench-specific keys
@@ -76,7 +82,8 @@ parseBenchArgs(int argc, char** argv,
                const std::vector<std::string>& extra_keys = {})
 {
     std::vector<std::string> allowed = {"sim_scale", "jobs", "quiet",
-                                        "perf_out", "snapshot_dir"};
+                                        "perf_out", "snapshot_dir",
+                                        "profile"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     BenchOptions opt;
     {
@@ -111,6 +118,7 @@ parseBenchArgs(int argc, char** argv,
             throw std::invalid_argument("jobs must be >= 0 (0 = auto)");
         opt.jobs = static_cast<unsigned>(jobs);
         opt.quiet = opt.cli.getBool("quiet", false);
+        opt.profile = opt.cli.getBool("profile", false);
         opt.perf_out = opt.cli.getString("perf_out", "");
         opt.snapshot_dir = opt.cli.getString("snapshot_dir", "");
     } catch (const std::exception& e) {

@@ -4,15 +4,21 @@
  *
  * Two parts:
  *
- *  1. Micro loops — tight timing of the four inner loops the profile is
- *     dominated by (cache lookup/insert, EQ search, QVStore action
- *     selection + SARSA update, feature extraction), printed as ns/op.
- *     These localize a regression the end-to-end number only detects.
+ *  1. Micro loops — tight timing of the inner loops the profile is
+ *     dominated by, printed as ns/op and recorded as per-component
+ *     entries in the perf artifact ("components" in pythia-perf-v1):
+ *     qvstore_max, qvstore_update, eq_insert, eq_match,
+ *     feature_extract, cache_access. These localize a regression the
+ *     end-to-end number only detects, and the CI perf gate pins each
+ *     one individually (tools/perf_gate.py).
  *
  *  2. End-to-end sims/sec — a fixed sweep of single-core experiments
  *     executed through the normal harness. With --perf-out= this lands
  *     in the pythia-perf-v1 JSON ("total.sims_per_sec"), which is the
  *     number the perf trajectory tracks PR over PR (DESIGN.md §7).
+ *
+ * profile=1 wraps the end-to-end sweep in a ScopedProfiler (gperftools
+ * when linked, perf markers otherwise — DESIGN.md §10).
  *
  * jobs defaults to 1 here (unlike the figure benches): the artifact
  * tracks single-thread hot-path speed, not pool scaling.
@@ -20,6 +26,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/agent.hpp"
@@ -40,20 +47,23 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Print one micro-loop result line: name, iterations, ns per op.
+/// Print one micro-loop result line and record it as a perf-artifact
+/// component.
 void
-report(const char* name, std::uint64_t iters, double seconds,
-       std::uint64_t check)
+report(pythia::bench::BenchOptions& opt, const char* name,
+       std::uint64_t iters, double seconds, std::uint64_t check)
 {
+    const double ns_per_op =
+        seconds / static_cast<double>(iters) * 1e9;
     std::printf("  %-22s %10" PRIu64 " ops  %8.1f ns/op  (check %"
                 PRIu64 ")\n",
-                name, iters, seconds / static_cast<double>(iters) * 1e9,
-                check);
+                name, iters, ns_per_op, check);
+    opt.perf.setComponent(name, ns_per_op, iters);
 }
 
 /// Feature extraction: observe + extract the basic 2-feature vector.
 void
-microFeatures(std::uint64_t iters)
+microFeatures(pythia::bench::BenchOptions& opt, std::uint64_t iters)
 {
     using namespace pythia;
     rl::FeatureExtractor fx;
@@ -65,34 +75,53 @@ microFeatures(std::uint64_t iters)
         const auto state = fx.extractAll(specs);
         check += state[0] ^ state[1];
     }
-    report("feature_extract", iters, secondsSince(t0), check);
+    report(opt, "feature_extract", iters, secondsSince(t0), check);
 }
 
-/// QVStore: action selection + SARSA update per iteration.
+/// QVStore action selection: the linear max-scan over the SoA rows.
 void
-microQvstore(std::uint64_t iters)
+microQvstoreMax(pythia::bench::BenchOptions& opt, std::uint64_t iters)
 {
     using namespace pythia;
     rl::QVStoreConfig cfg;
     rl::QVStore qv(cfg);
-    std::vector<std::uint64_t> s1 = {0, 0}, s2 = {0, 0};
+    std::uint64_t s1[2] = {0, 0};
     std::uint64_t check = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        s1[0] = i & 0x3FF;
+        s1[1] = (i * 7) & 0x3FF;
+        check += qv.maxAction(s1, 2);
+    }
+    report(opt, "qvstore_max", iters, secondsSince(t0), check);
+}
+
+/// QVStore SARSA update: two row lookups + one plane-strided write.
+void
+microQvstoreUpdate(pythia::bench::BenchOptions& opt,
+                   std::uint64_t iters)
+{
+    using namespace pythia;
+    rl::QVStoreConfig cfg;
+    rl::QVStore qv(cfg);
+    std::uint64_t s1[2] = {0, 0}, s2[2] = {0, 0};
     const auto t0 = Clock::now();
     for (std::uint64_t i = 0; i < iters; ++i) {
         s1[0] = i & 0x3FF;
         s1[1] = (i * 7) & 0x3FF;
         s2[0] = (i + 1) & 0x3FF;
         s2[1] = ((i + 1) * 7) & 0x3FF;
-        const std::uint32_t a = qv.maxAction(s1);
-        qv.update(s1, a, (i & 1) ? 10.0 : -4.0, s2, a);
-        check += a;
+        const auto a = static_cast<std::uint32_t>(i) %
+                       cfg.num_actions;
+        qv.update(s1, 2, a, (i & 1) ? 10.0 : -4.0, s2, 2, a);
     }
-    report("qvstore_select+update", iters, secondsSince(t0), check);
+    report(opt, "qvstore_update", iters, secondsSince(t0),
+           qv.updates());
 }
 
-/// EQ churn: insert with periodic demand matches and fill marks.
+/// EQ insert churn: ring insert + evict + pending-index maintenance.
 void
-microEq(std::uint64_t iters)
+microEqInsert(pythia::bench::BenchOptions& opt, std::uint64_t iters)
 {
     using namespace pythia;
     rl::EvaluationQueue eq(256);
@@ -105,20 +134,41 @@ microEq(std::uint64_t iters)
         e.prefetch_block = 0x1000 + (i & 0x1FF);
         e.has_prefetch = true;
         eq.insert(std::move(e));
-        // Mostly-miss searches, as in a real run: the demand stream
-        // rarely matches a queued prefetch block.
+        check += eq.size();
+    }
+    report(opt, "eq_insert", iters, secondsSince(t0), check);
+}
+
+/// EQ demand matching: mostly-miss searches plus periodic fill marks,
+/// as in a real run (the demand stream rarely matches a queued block).
+void
+microEqMatch(pythia::bench::BenchOptions& opt, std::uint64_t iters)
+{
+    using namespace pythia;
+    rl::EvaluationQueue eq(256);
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        rl::EqEntry e;
+        e.state = {i & 0xFF, (i * 3) & 0xFF};
+        e.action = static_cast<std::uint32_t>(i & 0xF);
+        e.prefetch_block = 0x1000 + (i & 0x1FF);
+        e.has_prefetch = true;
+        eq.insert(std::move(e));
+    }
+    std::uint64_t check = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
         check += eq.searchAll(0x5000 + (i & 0x3FF)).size();
         if ((i & 7) == 0)
             check += eq.markFill(0x1000 + (i & 0x1FF), i) ? 1 : 0;
         if ((i & 15) == 0)
             check += eq.searchAll(0x1000 + (i & 0x1FF)).size();
     }
-    report("eq_insert+search", iters, secondsSince(t0), check);
+    report(opt, "eq_match", iters, secondsSince(t0), check);
 }
 
 /// Cache: demand loads over a strided footprint that misses regularly.
 void
-microCache(std::uint64_t iters)
+microCache(pythia::bench::BenchOptions& opt, std::uint64_t iters)
 {
     using namespace pythia;
     sim::DramConfig dram_cfg;
@@ -139,7 +189,7 @@ microCache(std::uint64_t iters)
         req.at = i;
         check += cache.access(req);
     }
-    report("cache_access", iters, secondsSince(t0), check);
+    report(opt, "cache_access", iters, secondsSince(t0), check);
 }
 
 } // namespace
@@ -156,10 +206,12 @@ main(int argc, char** argv)
     const auto base =
         static_cast<std::uint64_t>(200'000 * opt.sim_scale);
     std::printf("hot-path micro loops (scale with sim_scale):\n");
-    microFeatures(base * 10);
-    microQvstore(base);
-    microEq(base * 5);
-    microCache(base * 10);
+    microFeatures(opt, base * 10);
+    microQvstoreMax(opt, base * 5);
+    microQvstoreUpdate(opt, base);
+    microEqInsert(opt, base * 5);
+    microEqMatch(opt, base * 5);
+    microCache(opt, base * 10);
 
     // ---- part 2: end-to-end sims/sec -----------------------------------
     // A pythia-heavy cross-section: the RL loop exercises every hot
@@ -185,7 +237,11 @@ main(int argc, char** argv)
                       table.addRow({w, pf,
                                     Table::fmt(o.metrics.speedup)});
                   });
-    bench::runSweep(sweep, runner, opt);
+    {
+        harness::ScopedProfiler prof("bench_micro_hotpath",
+                                     opt.profile);
+        bench::runSweep(sweep, runner, opt);
+    }
     std::printf("end-to-end: %.2f sims/sec (jobs=%u)\n",
                 opt.perf.totalSimsPerSecond(), opt.jobs);
     bench::finish(table, "micro_hotpath");

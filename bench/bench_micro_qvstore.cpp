@@ -1,116 +1,175 @@
 /**
  * @file
- * Microbenchmarks of Pythia's hardware critical paths (google-benchmark):
- * QVStore search (the pipelined Stage 0-4 operation of §4.2.2), SARSA
- * update, EQ search, and feature extraction. These correspond to the
- * latency/throughput concerns the paper addresses with the pipelined
- * QVStore organization.
+ * QVStore data-layout microbenchmark: the structure-of-arrays store
+ * (core/qvstore.hpp) against the retained PR 3 row-cached scalar
+ * reference (core/qvstore_ref.hpp), swept over the operations the
+ * agent's train loop performs — action selection (max), top-k
+ * selection, and the SARSA update — across several table geometries.
+ *
+ * The two implementations are algorithmically identical (the property
+ * suite in tests/test_data_layout.cpp proves bit-exact agreement); the
+ * delta here is purely data layout: contiguous per-row action vectors
+ * scanned linearly versus per-cell indexed lookups. The ratio column
+ * is the speedup of the SoA layout (>1 = SoA faster).
+ *
+ * Emits a pythia-perf-v1 artifact with --perf-out=<path>; the SoA
+ * timings land as components ("layout_max_f2p3", ...) so the perf gate
+ * can pin them. No external benchmark framework: plain steady_clock
+ * loops with volatile sinks, like bench_micro_hotpath.
  */
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "core/agent.hpp"
+#include "bench_common.hpp"
 #include "core/configs.hpp"
-#include "core/eq.hpp"
-#include "core/feature.hpp"
 #include "core/qvstore.hpp"
+#include "core/qvstore_ref.hpp"
 
 namespace {
 
 using namespace pythia;
+using Clock = std::chrono::steady_clock;
+
+volatile std::uint64_t g_sink; // defeats whole-loop elimination
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 rl::QVStoreConfig
-qvCfg()
+qvCfg(std::uint32_t features, std::uint32_t planes,
+      std::uint32_t actions)
 {
     rl::QVStoreConfig cfg;
-    cfg.num_features = 2;
-    cfg.num_planes = 3;
-    cfg.plane_index_bits = 7;
-    cfg.num_actions = 16;
+    cfg.num_features = features;
+    cfg.num_planes = planes;
+    cfg.num_actions = actions;
     return cfg;
 }
 
-void
-BM_QVStoreMaxActionSearch(benchmark::State& state)
+/** One geometry's sweep: times max/topk/update on both layouts. */
+struct Geometry
 {
-    rl::QVStore qv(qvCfg());
-    std::vector<std::uint64_t> s = {0x1234, 0x5678};
-    std::uint64_t i = 0;
-    for (auto _ : state) {
-        s[0] = 0x1234 + i;
-        s[1] = 0x5678 + i * 3;
-        benchmark::DoNotOptimize(qv.maxAction(s));
-        ++i;
-    }
-}
-BENCHMARK(BM_QVStoreMaxActionSearch);
+    const char* tag; ///< component suffix, e.g. "f2p3"
+    std::uint32_t features, planes, actions;
+};
 
-void
-BM_QVStoreSarsaUpdate(benchmark::State& state)
+/** ns/op of op() over @p iters iterations. */
+template <typename Fn>
+double
+timeLoop(std::uint64_t iters, Fn&& op)
 {
-    rl::QVStore qv(qvCfg());
-    std::vector<std::uint64_t> s1 = {1, 2}, s2 = {3, 4};
-    std::uint64_t i = 0;
-    for (auto _ : state) {
-        s1[0] = i;
-        s2[0] = i + 1;
-        qv.update(s1, static_cast<std::uint32_t>(i % 16), 12.0, s2,
-                  static_cast<std::uint32_t>((i + 1) % 16));
-        ++i;
-    }
+    std::uint64_t check = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i)
+        check += op(i);
+    g_sink = check;
+    return secondsSince(t0) / static_cast<double>(iters) * 1e9;
 }
-BENCHMARK(BM_QVStoreSarsaUpdate);
-
-void
-BM_EqSearch(benchmark::State& state)
-{
-    rl::EvaluationQueue eq(256);
-    for (Addr b = 0; b < 256; ++b) {
-        rl::EqEntry e;
-        e.state = {b, b};
-        e.prefetch_block = 0x1000 + b;
-        e.has_prefetch = true;
-        eq.insert(std::move(e));
-    }
-    std::uint64_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(eq.search(0x1000 + (i % 512)));
-        ++i;
-    }
-}
-BENCHMARK(BM_EqSearch);
-
-void
-BM_FeatureExtraction(benchmark::State& state)
-{
-    rl::FeatureExtractor fx;
-    const auto specs = rl::basicFeatureSpecs();
-    std::uint64_t i = 0;
-    for (auto _ : state) {
-        fx.observe(0x400 + (i % 7) * 0x40, (1ull << 20) + i % 64);
-        benchmark::DoNotOptimize(fx.extractAll(specs));
-        ++i;
-    }
-}
-BENCHMARK(BM_FeatureExtraction);
-
-void
-BM_AgentTrainStep(benchmark::State& state)
-{
-    rl::PythiaPrefetcher agent(rl::basicPythiaConfig());
-    std::vector<sim::PrefetchRequest> out;
-    std::uint64_t i = 0;
-    for (auto _ : state) {
-        out.clear();
-        sim::PrefetchAccess a;
-        a.pc = 0x400 + (i % 5) * 0x40;
-        a.block = (1ull << 20) + (i % 4096);
-        a.cycle = i * 10;
-        agent.train(a, out);
-        ++i;
-    }
-}
-BENCHMARK(BM_AgentTrainStep);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bench::BenchOptions opt = bench::parseBenchArgs(argc, argv);
+    const auto iters =
+        static_cast<std::uint64_t>(300'000 * opt.sim_scale);
+
+    const std::vector<Geometry> geometries = {
+        {"f2p3", 2, 3, 16},  // the harness's basic config
+        {"f3p2", 3, 2, 16},  // paper Table 6 shape (3 planes of 2 feat.)
+        {"f2p3a64", 2, 3, 64}, // wide action space (degree extension)
+    };
+
+    std::printf("QVStore layout sweep: SoA (qvstore.hpp) vs scalar "
+                "row-cached reference (qvstore_ref.hpp)\n");
+    std::printf("  %-10s %-8s %12s %12s %8s\n", "geometry", "op",
+                "soa ns/op", "ref ns/op", "ratio");
+
+    for (const Geometry& g : geometries) {
+        const rl::QVStoreConfig cfg =
+            qvCfg(g.features, g.planes, g.actions);
+        rl::QVStore soa(cfg);
+        rl::ScalarQVStore ref(cfg);
+
+        // Shared randomized state stream (same for both layouts).
+        std::vector<std::uint64_t> s1(g.features), s2(g.features);
+        auto fill = [&](std::uint64_t i) {
+            for (std::uint32_t f = 0; f < g.features; ++f) {
+                s1[f] = (i * (2 * f + 3)) & 0xFFF;
+                s2[f] = ((i + 1) * (2 * f + 3)) & 0xFFF;
+            }
+        };
+
+        struct Row
+        {
+            const char* op;
+            double soa_ns, ref_ns;
+        };
+        std::vector<Row> rows;
+
+        rows.push_back({"max",
+                        timeLoop(iters,
+                                 [&](std::uint64_t i) {
+                                     fill(i);
+                                     return soa.maxAction(s1);
+                                 }),
+                        timeLoop(iters, [&](std::uint64_t i) {
+                            fill(i);
+                            return ref.maxAction(s1);
+                        })});
+
+        std::vector<std::uint32_t> top;
+        rows.push_back({"topk",
+                        timeLoop(iters,
+                                 [&](std::uint64_t i) {
+                                     fill(i);
+                                     soa.topActionsInto(s1, 4, top);
+                                     return top[0];
+                                 }),
+                        timeLoop(iters, [&](std::uint64_t i) {
+                            fill(i);
+                            top = ref.topActions(s1, 4);
+                            return top[0];
+                        })});
+
+        rows.push_back(
+            {"update",
+             timeLoop(iters,
+                      [&](std::uint64_t i) {
+                          fill(i);
+                          const auto a = static_cast<std::uint32_t>(
+                              i % g.actions);
+                          soa.update(s1, a, (i & 1) ? 10.0 : -4.0, s2,
+                                     a);
+                          return std::uint64_t{0};
+                      }),
+             timeLoop(iters, [&](std::uint64_t i) {
+                 fill(i);
+                 const auto a =
+                     static_cast<std::uint32_t>(i % g.actions);
+                 ref.update(s1, a, (i & 1) ? 10.0 : -4.0, s2, a);
+                 return std::uint64_t{0};
+             })});
+
+        for (const Row& r : rows) {
+            std::printf("  %-10s %-8s %12.1f %12.1f %7.2fx\n", g.tag,
+                        r.op, r.soa_ns, r.ref_ns,
+                        r.soa_ns > 0.0 ? r.ref_ns / r.soa_ns : 0.0);
+            opt.perf.setComponent(std::string("layout_") + r.op + "_" +
+                                      g.tag,
+                                  r.soa_ns, iters);
+        }
+    }
+
+    if (!opt.perf_out.empty() && !opt.perf.writeTo(opt.perf_out))
+        std::fprintf(stderr, "[perf] cannot write %s\n",
+                     opt.perf_out.c_str());
+    return 0;
+}

@@ -1,6 +1,5 @@
 #include "common/rng.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace pythia {
@@ -38,48 +37,6 @@ Rng::setState(const RngState& st)
             "state");
     s0_ = st.s0;
     s1_ = st.s1;
-}
-
-std::uint64_t
-Rng::next64()
-{
-    std::uint64_t x = s0_;
-    const std::uint64_t y = s1_;
-    s0_ = y;
-    x ^= x << 23;
-    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
-    return s1_ + y;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    assert(bound > 0);
-    // Rejection-free multiply-shift; bias is < 2^-64 * bound, negligible.
-    const unsigned __int128 m =
-        static_cast<unsigned __int128>(next64()) * bound;
-    return static_cast<std::uint64_t>(m >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
-}
-
-std::int64_t
-Rng::nextRange(std::int64_t lo, std::int64_t hi)
-{
-    assert(lo <= hi);
-    const std::uint64_t span =
-        static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(nextBounded(span));
 }
 
 std::uint64_t

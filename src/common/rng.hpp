@@ -45,20 +45,47 @@ class Rng
      *  (unreachable by any seed; xorshift would emit zeros forever). */
     void setState(const RngState& st);
 
+    // The per-draw primitives are defined inline: the simulator draws
+    // tens of millions of values per run (workload generators, the
+    // epsilon-greedy policy), and a call per draw costs more than the
+    // xorshift step itself in non-LTO builds.
+
     /** Next raw 64-bit value. */
-    std::uint64_t next64();
+    std::uint64_t next64()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t nextBounded(std::uint64_t bound)
+    {
+        // Rejection-free multiply-shift; bias < 2^-64 * bound.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next64()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p of returning true. */
-    bool nextBool(double p);
+    bool nextBool(double p) { return nextDouble() < p; }
 
     /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
-    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(nextBounded(span));
+    }
 
     /** Sample from a geometric-ish heavy-tail in [1, max_v]. */
     std::uint64_t nextHeavyTail(std::uint64_t max_v);

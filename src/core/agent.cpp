@@ -91,8 +91,12 @@ PythiaPrefetcher::retireEntry(EqEntry&& entry)
     if (eq_.empty())
         return;
     const EqEntry& next = eq_.head();
-    qv_.update(entry.state, entry.action, entry.reward, next.state,
-               next.action);
+    // Both entries cached their plane rows at insertion; a snapshot
+    // restore clears the cache (qrows_n = 0) and re-hashes here.
+    qv_.updateCached(entry.state.data(), entry.state.size(),
+                     entry.qrows_n ? entry.qrows : nullptr, entry.action,
+                     entry.reward, next.state.data(), next.state.size(),
+                     next.qrows_n ? next.qrows : nullptr, next.action);
     ++*c_sarsa_updates_;
 }
 
@@ -125,6 +129,11 @@ PythiaPrefetcher::train(const sim::PrefetchAccess& access,
     // exploration draw replaces the primary action with a random one.
     qv_.topActionsInto(state, cfg_.degree, actions_scratch_);
     std::vector<std::uint32_t>& actions = actions_scratch_;
+    // topActionsInto just hashed this state's plane rows; export them
+    // once so every EQ entry of this demand carries its rows to the
+    // retirement-time SARSA update (no re-hash there).
+    std::uint32_t qrows[kEqRowSlots];
+    const std::uint32_t qrows_n = qv_.lastRowsInto(qrows, kEqRowSlots);
     // Secondary actions only issue while their Q-value beats the
     // no-prefetch action's Q: the agent's own estimate says they are
     // net-beneficial. This keeps the extension conservative on patterns
@@ -159,12 +168,13 @@ PythiaPrefetcher::train(const sim::PrefetchAccess& access,
         ++*action_slots_[action].selected;
         const std::int32_t offset = cfg_.actions[action];
         EqEntry entry;
-        // The last entry takes the state buffer; earlier ones copy it.
-        if (ai + 1 == actions.size())
-            entry.state = std::move(state_scratch_);
-        else
-            entry.state = state;
+        // Inline StateVec: every entry takes a flat copy of the state
+        // buffer — no heap traffic either way (DESIGN.md §10).
+        entry.state = state;
         entry.action = action;
+        entry.qrows_n = qrows_n;
+        for (std::uint32_t ri = 0; ri < qrows_n; ++ri)
+            entry.qrows[ri] = qrows[ri];
 
         if (offset == 0) {
             entry.reward = noPrefetchReward();

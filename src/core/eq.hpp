@@ -6,13 +6,20 @@
  * insertion (no-prefetch / cross-page), during residency (demand match =>
  * R_AT / R_AL) or at eviction (R_IN); the evicted entry drives the SARSA
  * update together with the entry at the head of the queue.
+ *
+ * Data layout (DESIGN.md §10): the queue is a fixed-capacity flat ring
+ * (power-of-two backing store, head index + count) of EqEntry values
+ * whose state vectors live inline in the entry (StateVec) — inserting,
+ * evicting and scanning the EQ performs zero heap allocations. The
+ * pending-block index in front of the scans is an open-addressed linear
+ * probe table over flat slots, replacing the node-based unordered_map.
  */
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
+#include <initializer_list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -24,10 +31,77 @@ class Reader;
 
 namespace pythia::rl {
 
+/** Inline state-vector capacity of an EqEntry. The paper's Pythia uses
+ *  2 features (PC+Delta, Sequence of offsets); 8 slots leave room for
+ *  every configurable feature set without per-entry heap storage. */
+inline constexpr std::size_t kEqStateSlots = 8;
+
+/**
+ * A fixed-capacity inline vector of feature values. Replaces the
+ * std::vector<uint64_t> an EqEntry used to carry: entries are copied on
+ * every insert/evict/retire, and with inline storage those copies are
+ * flat memcpys instead of allocate+copy+free round trips.
+ */
+class StateVec
+{
+  public:
+    StateVec() = default;
+    StateVec(std::initializer_list<std::uint64_t> il)
+    {
+        assign(il.begin(), il.size());
+    }
+    StateVec& operator=(std::initializer_list<std::uint64_t> il)
+    {
+        assign(il.begin(), il.size());
+        return *this;
+    }
+    StateVec& operator=(const std::vector<std::uint64_t>& v)
+    {
+        assign(v.data(), v.size());
+        return *this;
+    }
+
+    void assign(const std::uint64_t* p, std::size_t n)
+    {
+        assert(n <= kEqStateSlots);
+        n_ = static_cast<std::uint32_t>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v_[i] = p[i];
+    }
+
+    std::size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    const std::uint64_t* data() const { return v_; }
+    std::uint64_t* data() { return v_; }
+    std::uint64_t operator[](std::size_t i) const { return v_[i]; }
+    std::uint64_t& operator[](std::size_t i) { return v_[i]; }
+    const std::uint64_t* begin() const { return v_; }
+    const std::uint64_t* end() const { return v_ + n_; }
+
+    bool operator==(const StateVec& o) const
+    {
+        if (n_ != o.n_)
+            return false;
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (v_[i] != o.v_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::uint64_t v_[kEqStateSlots] = {};
+    std::uint32_t n_ = 0;
+};
+
+/** Inline QVStore row-cache capacity of an EqEntry: one slot per
+ *  (vault, plane) pair. Pythia's shipping configs use 2x3; larger
+ *  feature sets fall back to re-hashing at retirement. */
+inline constexpr std::size_t kEqRowSlots = 16;
+
 /** One Evaluation Queue entry. */
 struct EqEntry
 {
-    std::vector<std::uint64_t> state; ///< feature values at action time
+    StateVec state;                   ///< feature values at action time
     std::uint32_t action = 0;         ///< action index
     Addr prefetch_block = 0;          ///< 0 when no prefetch was issued
     bool has_prefetch = false;
@@ -35,6 +109,13 @@ struct EqEntry
     bool fill_known = false;
     bool has_reward = false;
     double reward = 0.0;
+    /** QVStore plane-row offsets of `state`, cached at insertion so the
+     *  retirement-time SARSA update never re-hashes (DESIGN.md §10).
+     *  Pure derived data: not serialized (snapshots restore with
+     *  qrows_n = 0 and the update path re-hashes — identical rows, so
+     *  restore→advance stays bit-exact). */
+    std::uint32_t qrows[kEqRowSlots] = {};
+    std::uint32_t qrows_n = 0;        ///< 0 = no cached rows
 };
 
 /** Fixed-capacity FIFO of EqEntry. */
@@ -79,22 +160,24 @@ class EvaluationQueue
     template <typename AssignFn>
     std::size_t rewardAll(Addr block, AssignFn&& assign)
     {
-        const auto it = pending_.find(block);
-        if (it == pending_.end() || it->second.unrewarded == 0)
+        const std::size_t pi = pendingFind(block);
+        if (pi == kNpos || pending_[pi].pc.unrewarded == 0)
             return 0;
         std::size_t rewarded = 0;
-        for (auto& e : entries_) {
+        for (std::size_t i = 0; i < count_; ++i) {
+            EqEntry& e = ring_[(head_ + i) & mask_];
             if (e.has_prefetch && e.prefetch_block == block &&
                 !e.has_reward) {
                 assign(e);
                 e.has_reward = true;
                 ++rewarded;
-                if (it->second.unrewarded > 0)
-                    --it->second.unrewarded;
+                if (pending_[pi].pc.unrewarded > 0)
+                    --pending_[pi].pc.unrewarded;
             }
         }
-        if (it->second.unrewarded == 0 && it->second.fill_unknown == 0)
-            pending_.erase(it);
+        if (pending_[pi].pc.unrewarded == 0 &&
+            pending_[pi].pc.fill_unknown == 0)
+            pendingErase(pi);
         return rewarded;
     }
 
@@ -106,24 +189,23 @@ class EvaluationQueue
      *  the SARSA update of the just-evicted entry. */
     const EqEntry& head() const;
 
-    bool empty() const { return entries_.empty(); }
-    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
     std::size_t capacity() const { return capacity_; }
 
     /** Drop all entries (Algorithm 1 line 3). */
-    void clear()
-    {
-        entries_.clear();
-        pending_.clear();
-    }
+    void clear();
 
     /** Serialize entries (queue order) + the pending-block index, the
      *  latter sorted by address for byte-stable output (snapshot
-     *  subsystem). */
+     *  subsystem). Byte-identical to the PR 6 deque-backed stream: the
+     *  ring is walked oldest-first and states write as length-prefixed
+     *  u64 runs, so the in-memory layout never leaks into the wire. */
     void saveState(snap::Writer& w) const;
 
     /** Restore a saveState() image into a queue of equal capacity.
-     *  @throws snap::CorruptError on capacity/occupancy mismatch. */
+     *  @throws snap::CorruptError on capacity/occupancy/state-width
+     *  mismatch. */
     void loadState(snap::Reader& r);
 
   private:
@@ -131,13 +213,14 @@ class EvaluationQueue
      * Per-block occupancy counts for the O(1) early exit in front of
      * the queue scans. A 256-entry EQ is scanned on *every* demand
      * access, and almost every scan matches nothing; one hash probe
-     * answers "nothing here" without walking the deque.
+     * answers "nothing here" without walking the ring.
      *
      * Counts are conservative: they decrement only when the queue
      * itself observes the transition (rewardAll / markFill / eviction),
      * so external mutation through search()/searchAll() pointers can
      * leave them too high — which only costs the shortcut, never
-     * correctness.
+     * correctness. A key whose counts never both reach zero stays in
+     * the table until clear(); the table grows to accommodate them.
      */
     struct PendingCounts
     {
@@ -145,9 +228,35 @@ class EvaluationQueue
         std::uint32_t fill_unknown = 0; ///< has_prefetch && !fill_known
     };
 
-    std::size_t capacity_;
-    std::deque<EqEntry> entries_;
-    std::unordered_map<Addr, PendingCounts> pending_;
+    /** One open-addressed pending-index slot (linear probing). The
+     *  occupancy flag is separate from the key because block 0 is a
+     *  valid address. */
+    struct PendingSlot
+    {
+        Addr key = 0;
+        PendingCounts pc;
+        bool used = false;
+    };
+
+    static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+    std::size_t pendingHome(Addr key) const;
+    /** Linear-probe lookup; kNpos when absent. */
+    std::size_t pendingFind(Addr key) const;
+    /** Lookup-or-insert; grows the table at 3/4 load. */
+    PendingCounts& pendingRef(Addr key);
+    /** Backward-shift deletion keeping every probe chain contiguous. */
+    void pendingErase(std::size_t i);
+    void pendingGrow();
+
+    std::size_t capacity_;  ///< logical FIFO capacity (any value >= 1)
+    std::size_t mask_;      ///< ring_.size() - 1 (power-of-two backing)
+    std::size_t head_ = 0;  ///< ring index of the oldest entry
+    std::size_t count_ = 0; ///< live entries
+    std::vector<EqEntry> ring_;
+    std::vector<PendingSlot> pending_;
+    std::size_t pending_mask_;
+    std::size_t pending_size_ = 0;
 };
 
 } // namespace pythia::rl

@@ -98,6 +98,21 @@ FeatureExtractor::reset()
     last_block_ = 0;
     last_page_ = ~0ull;
     has_last_ = false;
+    rebuildDerived();
+}
+
+void
+FeatureExtractor::rebuildDerived()
+{
+    packed_offsets_ = 0;
+    for (int i = 0; i < 4; ++i)
+        packed_offsets_ = (packed_offsets_ << 6) | (offsets_[i] & 0x3F);
+    packed_deltas_ = 0;
+    for (int i = 0; i < 4; ++i)
+        packed_deltas_ = (packed_deltas_ << 7) | packDelta(deltas_[i]);
+    packed_delta0_ = packDelta(deltas_[0]);
+    pc_path3_ = pcs_[0] ^ (pcs_[1] << 1) ^ (pcs_[2] << 2);
+    pc_xor_prev_ = pcs_[0] ^ pcs_[1];
 }
 
 void
@@ -126,6 +141,7 @@ FeatureExtractor::loadState(snap::Reader& r)
     last_block_ = r.u64();
     last_page_ = r.u64();
     has_last_ = r.boolean();
+    rebuildDerived();
 }
 
 void
@@ -141,6 +157,10 @@ FeatureExtractor::observe(Addr pc, Addr block)
             static_cast<std::int64_t>(block) -
             static_cast<std::int64_t>(last_block_));
 
+    // Fold the new PC into the control-flow caches before it enters the
+    // history, then shift the raw histories (still the snapshot format).
+    pc_path3_ = pc ^ (pcs_[0] << 1) ^ (pcs_[1] << 2);
+    pc_xor_prev_ = pc ^ pcs_[0];
     for (int i = 2; i > 0; --i)
         pcs_[i] = pcs_[i - 1];
     pcs_[0] = pc;
@@ -150,6 +170,16 @@ FeatureExtractor::observe(Addr pc, Addr block)
     }
     deltas_[0] = delta;
     offsets_[0] = offset;
+
+    // Shift one element into the packed last-4 sequences: the previous
+    // oldest falls off the bottom, the new value lands on top. Identical
+    // to re-packing the shifted arrays.
+    packed_offsets_ = ((static_cast<std::uint64_t>(offset) & 0x3F) << 18) |
+                      (packed_offsets_ >> 6);
+    packed_delta0_ = packDelta(delta);
+    packed_deltas_ =
+        (static_cast<std::uint64_t>(packed_delta0_) << 21) |
+        (packed_deltas_ >> 7);
 
     last_block_ = block;
     last_page_ = page;
@@ -165,9 +195,9 @@ FeatureExtractor::controlValue(ControlKind kind) const
       case ControlKind::Pc:
         return pcs_[0];
       case ControlKind::PcPath3:
-        return pcs_[0] ^ (pcs_[1] << 1) ^ (pcs_[2] << 2);
+        return pc_path3_;
       case ControlKind::PcXorPrevPc:
-        return pcs_[0] ^ pcs_[1];
+        return pc_xor_prev_;
     }
     return 0;
 }
@@ -185,21 +215,13 @@ FeatureExtractor::dataValue(DataKind kind) const
       case DataKind::PageOffset:
         return offsets_[0];
       case DataKind::Delta:
-        return packDelta(deltas_[0]);
-      case DataKind::Last4Offsets: {
-        std::uint64_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v = (v << 6) | (offsets_[i] & 0x3F);
-        return v;
-      }
-      case DataKind::Last4Deltas: {
-        std::uint64_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v = (v << 7) | packDelta(deltas_[i]);
-        return v;
-      }
+        return packed_delta0_;
+      case DataKind::Last4Offsets:
+        return packed_offsets_;
+      case DataKind::Last4Deltas:
+        return packed_deltas_;
       case DataKind::OffsetXorDelta:
-        return offsets_[0] ^ packDelta(deltas_[0]);
+        return offsets_[0] ^ packed_delta0_;
     }
     return 0;
 }

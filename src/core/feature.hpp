@@ -110,13 +110,28 @@ class FeatureExtractor
     std::uint64_t controlValue(ControlKind kind) const;
     std::uint64_t dataValue(DataKind kind) const;
 
-    // Histories, most recent first.
+    /** Recompute the packed/derived caches from the raw histories
+     *  (constructor, reset, loadState). */
+    void rebuildDerived();
+
+    // Histories, most recent first. These remain the serialized
+    // representation (the snapshot wire format predates the caches).
     Addr pcs_[3];
     std::int32_t deltas_[4];
     std::uint32_t offsets_[4];
     Addr last_block_ = 0;
     Addr last_page_ = ~0ull;
     bool has_last_ = false;
+
+    // Derived values maintained incrementally by observe() so extract()
+    // is table lookups instead of history walks (DESIGN.md §10): the
+    // packed last-4 sequences shift one element per observation, and
+    // the control-flow combinations fold in the new PC once.
+    std::uint64_t packed_offsets_ = 0; ///< 4 x 6-bit, newest on top
+    std::uint64_t packed_deltas_ = 0;  ///< 4 x 7-bit, newest on top
+    std::uint32_t packed_delta0_ = 0;  ///< packDelta(deltas_[0])
+    std::uint64_t pc_path3_ = 0;       ///< pcs0 ^ pcs1<<1 ^ pcs2<<2
+    std::uint64_t pc_xor_prev_ = 0;    ///< pcs0 ^ pcs1
 };
 
 } // namespace pythia::rl

@@ -33,6 +33,20 @@ PerfReport::addSweep(const SweepReport& report)
     sweeps_.push_back(s);
 }
 
+void
+PerfReport::setComponent(const std::string& name, double ns_per_op,
+                         std::uint64_t ops)
+{
+    for (auto& c : components_) {
+        if (c.name == name) {
+            c.ns_per_op = ns_per_op;
+            c.ops = ops;
+            return;
+        }
+    }
+    components_.push_back(ComponentPerf{name, ns_per_op, ops});
+}
+
 std::size_t
 PerfReport::totalExperiments() const
 {
@@ -113,8 +127,19 @@ PerfReport::toJson() const
     json += "  \"total\": {\"experiments\": " +
             std::to_string(totalExperiments()) +
             ", \"seconds\": " + num(totalSeconds()) +
-            ", \"sims_per_sec\": " + num(totalSimsPerSecond()) + "}\n";
-    json += "}\n";
+            ", \"sims_per_sec\": " + num(totalSimsPerSecond()) + "}";
+    if (!components_.empty()) {
+        json += ",\n  \"components\": {";
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            const ComponentPerf& c = components_[i];
+            json += (i == 0 ? "\n" : ",\n");
+            json += "    \"" + esc(c.name) +
+                    "\": {\"ns_per_op\": " + num(c.ns_per_op) +
+                    ", \"ops\": " + std::to_string(c.ops) + "}";
+        }
+        json += "\n  }";
+    }
+    json += "\n}\n";
     return json;
 }
 

@@ -22,16 +22,27 @@
  *          "job_p95_s": 0.102}
  *       ],
  *       "total": {"experiments": 18, "seconds": 1.234,
- *                 "sims_per_sec": 14.58}
+ *                 "sims_per_sec": 14.58},
+ *       "components": {
+ *         "qvstore_max": {"ns_per_op": 102.4, "ops": 1000000},
+ *         "eq_insert": {"ns_per_op": 18.7, "ops": 5000000}
+ *       }
  *     }
  *
  * "Simulation" counts sweep jobs (each job is one measured simulation;
  * the no-prefetching baselines Runner computes on demand are part of
  * the wall time but amortized by its cache).
+ *
+ * "components" (optional; still pythia-perf-v1 — consumers ignore
+ * unknown keys) carries per-component microbench timings so the CI perf
+ * gate can pin individual hot-path kernels, not just aggregate
+ * sims/sec. Keys are component names, values ns per operation plus the
+ * operation count the timing averaged over.
  */
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +88,24 @@ class PerfReport
     /** Fold one executed sweep's report into the accumulated totals. */
     void addSweep(const SweepReport& report);
 
+    /** One per-component microbench timing ("components" in the JSON). */
+    struct ComponentPerf
+    {
+        std::string name;      ///< e.g. "qvstore_max"
+        double ns_per_op = 0.0;
+        std::uint64_t ops = 0; ///< operations the timing averaged over
+    };
+
+    /** Record (or overwrite) a component timing. Emission order follows
+     *  first insertion, keeping the artifact diff-stable. */
+    void setComponent(const std::string& name, double ns_per_op,
+                      std::uint64_t ops);
+
+    const std::vector<ComponentPerf>& components() const
+    {
+        return components_;
+    }
+
     const std::vector<SweepPerf>& sweeps() const { return sweeps_; }
 
     std::size_t totalExperiments() const;
@@ -99,6 +128,7 @@ class PerfReport
     std::string bench_;
     unsigned jobs_ = 0;
     std::vector<SweepPerf> sweeps_;
+    std::vector<ComponentPerf> components_;
 };
 
 } // namespace pythia::harness

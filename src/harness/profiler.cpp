@@ -1,0 +1,96 @@
+#include "harness/profiler.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+// gperftools CPU-profiler entry points, declared weak: resolved when
+// libprofiler is linked or LD_PRELOADed, null otherwise. Signatures
+// from <gperftools/profiler.h>, which is deliberately not included —
+// the header need not exist in the build environment.
+extern "C" {
+int ProfilerStart(const char* fname) __attribute__((weak));
+void ProfilerStop(void) __attribute__((weak));
+void ProfilerFlush(void) __attribute__((weak));
+}
+
+namespace pythia::harness {
+
+namespace {
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+long
+pidOfSelf()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return static_cast<long>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+bool
+ScopedProfiler::cpuProfilerLinked()
+{
+    return &ProfilerStart != nullptr && &ProfilerStop != nullptr;
+}
+
+ScopedProfiler::ScopedProfiler(const std::string& label, bool enabled)
+    : enabled_(enabled), label_(label)
+{
+    if (!enabled_)
+        return;
+    start_ns_ = nowNs();
+    if (cpuProfilerLinked()) {
+        const std::string out = label_ + ".prof";
+        cpu_profiler_ = ProfilerStart(out.c_str()) != 0;
+        if (cpu_profiler_)
+            std::fprintf(stderr, "[profile] gperftools CPU profile -> %s\n",
+                         out.c_str());
+        else
+            std::fprintf(stderr,
+                         "[profile] ProfilerStart(%s) failed; "
+                         "falling back to perf markers\n",
+                         out.c_str());
+    }
+    if (!cpu_profiler_)
+        std::fprintf(stderr, "[perf-marker] begin %s pid=%ld t=%llu\n",
+                     label_.c_str(), pidOfSelf(),
+                     static_cast<unsigned long long>(start_ns_));
+}
+
+ScopedProfiler::~ScopedProfiler()
+{
+    if (!enabled_)
+        return;
+    const std::uint64_t end_ns = nowNs();
+    if (cpu_profiler_) {
+        if (&ProfilerFlush != nullptr)
+            ProfilerFlush();
+        ProfilerStop();
+        std::fprintf(stderr, "[profile] %s: %.3f s profiled\n",
+                     label_.c_str(),
+                     static_cast<double>(end_ns - start_ns_) * 1e-9);
+    } else {
+        std::fprintf(stderr,
+                     "[perf-marker] end %s pid=%ld t=%llu dur_s=%.3f\n",
+                     label_.c_str(), pidOfSelf(),
+                     static_cast<unsigned long long>(end_ns),
+                     static_cast<double>(end_ns - start_ns_) * 1e-9);
+    }
+}
+
+} // namespace pythia::harness

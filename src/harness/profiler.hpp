@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ScopedProfiler — optional CPU-profiler hook for the bench binaries
+ * (the profile→optimize→golden-verify loop of DESIGN.md §10).
+ *
+ * Benches accept profile=1; while a ScopedProfiler is alive the bench's
+ * measured region is profiled with whatever is available:
+ *
+ *  - When the process is linked (or LD_PRELOADed) against gperftools'
+ *    libprofiler, its ProfilerStart/ProfilerStop are called with a
+ *    <bench>.prof output file, ready for pprof. The symbols are
+ *    declared weak, so the binary builds and runs without gperftools —
+ *    no build-system dependency, matching the repo's no-new-deps rule.
+ *  - Otherwise the fallback emits perf-marker lines on stderr
+ *    ("[perf-marker] begin/end <label> pid=<pid> t=<ns>") that bracket
+ *    the region, so an external sampler (`perf record -p <pid>`, or
+ *    timestamp-correlated logs) can be aligned with the bench phase.
+ *
+ * Either way the region's wall time is reported on destruction, making
+ * profile=1 harmless (and mildly useful) even with no profiler present.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pythia::harness {
+
+/** RAII profiling region: starts on construction when @p enabled,
+ *  stops/reports on destruction. Non-copyable, non-movable. */
+class ScopedProfiler
+{
+  public:
+    /**
+     * @param label   Region label; the CPU-profile output file (when
+     *                gperftools is present) is "<label>.prof".
+     * @param enabled Off = fully inert (the profile=0 default).
+     */
+    ScopedProfiler(const std::string& label, bool enabled);
+    ~ScopedProfiler();
+
+    ScopedProfiler(const ScopedProfiler&) = delete;
+    ScopedProfiler& operator=(const ScopedProfiler&) = delete;
+
+    /** Whether a real CPU profiler (gperftools) is linked into this
+     *  process, as opposed to the perf-marker fallback. */
+    static bool cpuProfilerLinked();
+
+  private:
+    bool enabled_ = false;
+    bool cpu_profiler_ = false;
+    std::string label_;
+    std::uint64_t start_ns_ = 0;
+};
+
+} // namespace pythia::harness

@@ -32,7 +32,10 @@ Cache::Cache(const CacheConfig& cfg, MemoryLevel& next)
     pow2_sets_ = (sets_ & (sets_ - 1)) == 0;
     set_mask_ = sets_ - 1;
     blocks_.assign(static_cast<std::size_t>(sets_) * cfg_.ways, Block{});
+    tags_.assign(blocks_.size(), kInvalidTag);
     repl_ = makeReplacement(cfg_.replacement, sets_, cfg_.ways);
+    lru_ = dynamic_cast<LruPolicy*>(repl_.get());
+    ship_ = dynamic_cast<ShipPolicy*>(repl_.get());
 
     hot_.demand_load_access = stats_.counterSlot("demand_load_access");
     hot_.demand_store_access = stats_.counterSlot("demand_store_access");
@@ -69,12 +72,21 @@ Cache::setOf(Addr block) const
 Cache::Block*
 Cache::findBlockAt(std::size_t base, Addr block)
 {
+    // Invalid ways hold kInvalidTag, which never equals a real block, so
+    // the scan needs no validity check: 8 contiguous u64 compares.
+    const Addr* tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        Block& b = blocks_[base + w];
-        if (b.valid && b.addr == block)
-            return &b;
+        if (tags[w] == block)
+            return &blocks_[base + w];
     }
     return nullptr;
+}
+
+void
+Cache::rebuildTags()
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        tags_[i] = blocks_[i].valid ? blocks_[i].addr : kInvalidTag;
 }
 
 Cache::Block*
@@ -129,15 +141,15 @@ Cache::insertBlock(const MemAccess& req, Cycle fill_time)
     // Prefer an invalid way; otherwise consult the replacement policy.
     std::uint32_t way = cfg_.ways;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (!blocks_[base + w].valid) {
+        if (tags_[base + w] == kInvalidTag) {
             way = w;
             break;
         }
     }
     if (way == cfg_.ways) {
-        way = repl_->victim(set);
+        way = replVictim(set);
         Block& victim = blocks_[base + way];
-        repl_->onEvict(set, way, victim.reused);
+        replOnEvict(set, way, victim.reused);
         ++*hot_.evictions;
         if (victim.prefetched) {
             if (!victim.used)
@@ -159,6 +171,7 @@ Cache::insertBlock(const MemAccess& req, Cycle fill_time)
 
     Block& b = blocks_[base + way];
     b.addr = req.block;
+    tags_[base + way] = req.block;
     b.valid = true;
     b.dirty = (req.type == AccessType::Store ||
                req.type == AccessType::Writeback);
@@ -170,7 +183,7 @@ Cache::insertBlock(const MemAccess& req, Cycle fill_time)
     ReplAccess ctx;
     ctx.pc = req.pc;
     ctx.is_prefetch = b.prefetched;
-    repl_->onInsert(set, way, ctx);
+    replOnInsert(set, way, ctx);
     return b;
 }
 
@@ -262,7 +275,7 @@ Cache::access(const MemAccess& req)
                 static_cast<std::uint32_t>(blk - &blocks_[base]);
             ReplAccess ctx;
             ctx.pc = req.pc;
-            repl_->onHit(set, way, ctx);
+            replOnHit(set, way, ctx);
         }
         if (req.type == AccessType::Store ||
             req.type == AccessType::Writeback)
@@ -309,6 +322,7 @@ Cache::flush()
 {
     for (auto& b : blocks_)
         b = Block{};
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
     inflight_.clear();
     stats_.reset();
 }
@@ -356,6 +370,7 @@ Cache::loadState(snap::Reader& r)
         b.reused = r.boolean();
         b.fill_time = r.u64();
     }
+    rebuildTags();
     inflight_ = r.vecU64();
     if (inflight_.size() > cfg_.mshrs)
         throw snap::CorruptError(

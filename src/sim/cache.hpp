@@ -138,8 +138,15 @@ class Cache : public MemoryLevel
 
     std::uint32_t setOf(Addr block) const;
 
+    /** tags_ value of an invalid way. Block addresses are cacheline
+     *  numbers (address >> 6, plus a per-core offset in bits 46+), so
+     *  all-ones cannot collide with a real block. */
+    static constexpr Addr kInvalidTag = ~static_cast<Addr>(0);
+
     /** Way-scan of the set at @p base for @p block; null on miss. The
-     *  one tag-match loop both findBlock() and access() use. */
+     *  one tag-match loop both findBlock() and access() use. Scans the
+     *  contiguous tag array (DESIGN.md §10) — one cache line per
+     *  8-way set — instead of striding through Block records. */
     Block* findBlockAt(std::size_t base, Addr block);
 
     Block* findBlock(Addr block);
@@ -157,13 +164,62 @@ class Cache : public MemoryLevel
     void issuePrefetches(const PrefetchAccess& acc,
                          std::vector<PrefetchRequest>& candidates);
 
+    /** Re-derive tags_ from blocks_ (flush / loadState). */
+    void rebuildTags();
+
+    // Devirtualized replacement dispatch: the factory returns one of
+    // two concrete policies; branching on a cached downcast lets the
+    // per-access hooks inline instead of going through the vtable.
+    void replOnHit(std::uint32_t set, std::uint32_t way,
+                   const ReplAccess& ctx)
+    {
+        if (lru_)
+            lru_->onHit(set, way, ctx);
+        else if (ship_)
+            ship_->onHit(set, way, ctx);
+        else
+            repl_->onHit(set, way, ctx);
+    }
+    void replOnInsert(std::uint32_t set, std::uint32_t way,
+                      const ReplAccess& ctx)
+    {
+        if (lru_)
+            lru_->onInsert(set, way, ctx);
+        else if (ship_)
+            ship_->onInsert(set, way, ctx);
+        else
+            repl_->onInsert(set, way, ctx);
+    }
+    void replOnEvict(std::uint32_t set, std::uint32_t way, bool reused)
+    {
+        if (lru_)
+            lru_->onEvict(set, way, reused);
+        else if (ship_)
+            ship_->onEvict(set, way, reused);
+        else
+            repl_->onEvict(set, way, reused);
+    }
+    std::uint32_t replVictim(std::uint32_t set)
+    {
+        if (lru_)
+            return lru_->victim(set);
+        if (ship_)
+            return ship_->victim(set);
+        return repl_->victim(set);
+    }
+
     CacheConfig cfg_;
     MemoryLevel& next_;
     std::uint32_t sets_;
     bool pow2_sets_;         ///< enables mask indexing in setOf
     std::uint32_t set_mask_; ///< sets_ - 1 when pow2_sets_
     std::vector<Block> blocks_;
+    /** blocks_[i].addr for valid ways, kInvalidTag otherwise — the
+     *  structure-of-arrays mirror the tag scans read. */
+    std::vector<Addr> tags_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    LruPolicy* lru_ = nullptr;   ///< repl_ downcast when kind == lru
+    ShipPolicy* ship_ = nullptr; ///< repl_ downcast when kind == ship
     /** Completion times of pending misses, as a min-heap (only the
      *  earliest completion is ever consumed). */
     std::vector<Cycle> inflight_;

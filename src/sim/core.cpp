@@ -17,6 +17,8 @@ Core::Core(const CoreConfig& cfg, std::uint32_t id, MemoryLevel& l1d,
       c_mem_instrs_(stats_.counterSlot("mem_instrs"))
 {
     assert(cfg_.rob_size > 0 && cfg_.width > 0);
+    rob_pow2_ = (cfg_.rob_size & (cfg_.rob_size - 1)) == 0;
+    rob_mask_ = cfg_.rob_size - 1;
 }
 
 void
@@ -26,7 +28,9 @@ Core::dispatch(Cycle completion_cycle)
     std::uint64_t ds = next_dispatch_slot_;
 
     // ROB occupancy: the instruction rob_size older must have retired.
-    const std::uint64_t rob_idx = instr_count_ % cfg_.rob_size;
+    const std::uint64_t rob_idx = rob_pow2_
+                                      ? (instr_count_ & rob_mask_)
+                                      : (instr_count_ % cfg_.rob_size);
     ds = std::max(ds, rob_retire_slot_[rob_idx]);
 
     std::uint64_t completion_slot;
@@ -46,13 +50,51 @@ Core::dispatch(Cycle completion_cycle)
 }
 
 void
+Core::dispatchNonMemRun(std::uint32_t n)
+{
+    const std::uint64_t lat_slots =
+        static_cast<std::uint64_t>(cfg_.nonmem_latency) * cfg_.width;
+    std::uint64_t ic = instr_count_;
+    std::uint64_t nds = next_dispatch_slot_;
+    std::uint64_t lrs = last_retire_slot_;
+    std::uint64_t* rob = rob_retire_slot_.data();
+
+    if (rob_pow2_) {
+        const std::uint64_t mask = rob_mask_;
+        for (std::uint32_t g = 0; g < n; ++g) {
+            const std::uint64_t idx = ic & mask;
+            const std::uint64_t ds = std::max(nds, rob[idx]);
+            const std::uint64_t retire = std::max(lrs + 1, ds + lat_slots);
+            rob[idx] = retire;
+            lrs = retire;
+            nds = ds + 1;
+            ++ic;
+        }
+    } else {
+        for (std::uint32_t g = 0; g < n; ++g) {
+            const std::uint64_t idx = ic % cfg_.rob_size;
+            const std::uint64_t ds = std::max(nds, rob[idx]);
+            const std::uint64_t retire = std::max(lrs + 1, ds + lat_slots);
+            rob[idx] = retire;
+            lrs = retire;
+            nds = ds + 1;
+            ++ic;
+        }
+    }
+
+    instr_count_ = ic;
+    next_dispatch_slot_ = nds;
+    last_retire_slot_ = lrs;
+}
+
+void
 Core::step()
 {
     const wl::TraceRecord rec = workload_.next();
     ++records_consumed_;
 
-    for (std::uint32_t g = 0; g < rec.gap; ++g)
-        dispatch(0);
+    if (rec.gap > 0)
+        dispatchNonMemRun(rec.gap);
 
     Cycle issue_cycle = next_dispatch_slot_ / cfg_.width;
     // Address-dependent loads cannot issue before the producing load's

@@ -91,6 +91,12 @@ class Core
      *  (memory ops) or after the fixed execute latency (pass 0). */
     void dispatch(Cycle completion_cycle);
 
+    /** Dispatch @p n consecutive non-memory instructions — the trace
+     *  gap. Same arithmetic as n dispatch(0) calls, with the ROB index
+     *  reduced by mask (power-of-two sizes) and the slot state kept in
+     *  registers across the run. */
+    void dispatchNonMemRun(std::uint32_t n);
+
     /** Consume and execute one trace record (gap + memory op). */
     void step();
 
@@ -99,6 +105,8 @@ class Core
     MemoryLevel& l1d_;
     wl::Workload& workload_;
     Addr addr_offset_;
+    bool rob_pow2_ = false;       ///< rob_size is a power of two
+    std::uint32_t rob_mask_ = 0;  ///< rob_size - 1 when rob_pow2_
 
     std::uint64_t instr_count_ = 0;
     std::uint64_t records_consumed_ = 0;

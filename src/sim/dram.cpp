@@ -36,6 +36,30 @@ Dram::Dram(const DramConfig& cfg)
     banks_.resize(static_cast<std::size_t>(cfg_.channels) *
                   cfg_.ranks_per_channel * cfg_.banks_per_rank);
     bus_next_free_.assign(cfg_.channels, 0);
+
+    // Address-mapping strength reduction: the default geometry is all
+    // powers of two, so the per-access channel/bank/row arithmetic
+    // reduces to masks and shifts (identical values — unsigned x % 2^k
+    // == x & (2^k - 1), and division by a power of two is a shift).
+    const auto pow2 = [](std::uint64_t v) {
+        return v > 0 && (v & (v - 1)) == 0;
+    };
+    const auto log2of = [](std::uint64_t v) {
+        std::uint32_t s = 0;
+        while ((v >>= 1) != 0)
+            ++s;
+        return s;
+    };
+    const std::uint32_t bpc = cfg_.ranks_per_channel * cfg_.banks_per_rank;
+    ch_mask_ = pow2(cfg_.channels) ? cfg_.channels - 1 : 0;
+    ch_pow2_ = pow2(cfg_.channels);
+    bank_mask_ = pow2(bpc) ? bpc - 1 : 0;
+    bank_pow2_ = pow2(bpc);
+    row_pow2_ = pow2(cfg_.row_bytes) && pow2(bpc) &&
+                cfg_.row_bytes >= kBlockSize;
+    row_shift_ = row_pow2_ ? log2of(cfg_.row_bytes) - kBlockShift +
+                                 log2of(bpc)
+                           : 0;
 }
 
 void
@@ -68,17 +92,21 @@ Dram::access(Addr block, Cycle at, bool is_write)
     advanceEpoch(at);
 
     const std::uint64_t line = block;
-    const std::uint32_t channel =
-        static_cast<std::uint32_t>(mix64(line >> 1) % cfg_.channels);
+    const std::uint32_t channel = static_cast<std::uint32_t>(
+        ch_pow2_ ? (mix64(line >> 1) & ch_mask_)
+                 : (mix64(line >> 1) % cfg_.channels));
     const std::uint32_t banks_per_channel =
         cfg_.ranks_per_channel * cfg_.banks_per_rank;
     const std::uint32_t bank_in_channel = static_cast<std::uint32_t>(
-        (line >> 5) % banks_per_channel);
+        bank_pow2_ ? ((line >> 5) & bank_mask_)
+                   : ((line >> 5) % banks_per_channel));
     Bank& bank = banks_[static_cast<std::size_t>(channel) *
                             banks_per_channel + bank_in_channel];
 
     const std::uint64_t row =
-        (line << kBlockShift) / cfg_.row_bytes / banks_per_channel;
+        row_pow2_ ? (line >> row_shift_)
+                  : (line << kBlockShift) / cfg_.row_bytes /
+                        banks_per_channel;
 
     const Cycle start = std::max(at, bank.next_free);
     Cycle access_lat;

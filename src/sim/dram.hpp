@@ -123,6 +123,12 @@ class Dram : public BandwidthInfo
     DramConfig cfg_;
     Cycle t_rcd_, t_rp_, t_cas_;
     Cycle line_transfer_cycles_;
+    // Strength-reduced address mapping (power-of-two geometries; see
+    // the constructor). Masks/shift are unused when the _pow2_ flag of
+    // their term is false.
+    bool ch_pow2_ = false, bank_pow2_ = false, row_pow2_ = false;
+    std::uint64_t ch_mask_ = 0, bank_mask_ = 0;
+    std::uint32_t row_shift_ = 0;
     double high_threshold_ = 0.5;
 
     std::vector<Bank> banks_;            ///< channels*ranks*banks

@@ -66,8 +66,10 @@ class ReplacementPolicy
     virtual void loadState(snap::Reader& r) = 0;
 };
 
-/** Classic least-recently-used stack implemented with a global timestamp. */
-class LruPolicy : public ReplacementPolicy
+/** Classic least-recently-used stack implemented with a global timestamp.
+ *  final: Cache dispatches to the concrete type through a downcast
+ *  pointer, and finality is what lets those calls devirtualize. */
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     LruPolicy(std::uint32_t sets, std::uint32_t ways);
@@ -100,7 +102,7 @@ class LruPolicy : public ReplacementPolicy
  * are inserted at distant RRPV (standard SHiP practice), which matters for
  * pollution behaviour under aggressive prefetchers.
  */
-class ShipPolicy : public ReplacementPolicy
+class ShipPolicy final : public ReplacementPolicy
 {
   public:
     ShipPolicy(std::uint32_t sets, std::uint32_t ways,

@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
-"""Perf regression gate over pythia-perf-v1 artifacts (DESIGN.md §7).
+"""Perf regression gate over pythia-perf-v1 artifacts (DESIGN.md §7/§10).
 
 Usage: perf_gate.py <baseline.json> <current.json>
 
-Compares total.sims_per_sec of a freshly measured artifact against the
-committed baseline and exits non-zero when the current throughput falls
-more than PERF_GATE_THRESHOLD (default 0.30, i.e. >30% regression)
-below the baseline. Improvements and small fluctuations pass; a passing
-run prints both numbers so the CI log doubles as the perf trajectory.
+Two checks, both governed by PERF_GATE_THRESHOLD (default 0.30):
+
+ 1. Aggregate throughput: total.sims_per_sec must not fall more than
+    the threshold below the committed baseline.
+ 2. Per-component timings: for every component in the baseline's
+    "components" map (ns_per_op of one hot-path kernel, written by
+    bench_micro_hotpath), the current ns_per_op must not rise more
+    than the threshold above the baseline. This pins individual
+    kernels: a regression in, say, eq_insert can hide inside a
+    passing aggregate number when another component got faster.
+
+The component sets must agree. A component present in the current
+artifact but absent from the committed baseline fails with an explicit
+"baseline is stale, refresh it" message (never a KeyError); a component
+that disappeared from the current artifact fails too, because a renamed
+or dropped kernel would otherwise silently leave the gate.
 
 The committed baseline was measured on a developer machine; CI runners
 differ, so the threshold is deliberately loose — it exists to catch
@@ -21,12 +32,16 @@ import os
 import sys
 
 
-def load_sims_per_sec(path):
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("schema") != "pythia-perf-v1":
         sys.exit(f"perf_gate: {path}: unexpected schema "
                  f"{doc.get('schema')!r} (want pythia-perf-v1)")
+    return doc
+
+
+def sims_per_sec(doc, path):
     try:
         value = float(doc["total"]["sims_per_sec"])
     except (KeyError, TypeError, ValueError):
@@ -36,6 +51,28 @@ def load_sims_per_sec(path):
     return value
 
 
+def components(doc, path):
+    """The artifact's components map as {name: ns_per_op}; {} when the
+    artifact predates per-component timings (optional in the schema)."""
+    comp = doc.get("components")
+    if comp is None:
+        return {}
+    if not isinstance(comp, dict):
+        sys.exit(f"perf_gate: {path}: \"components\" is not an object")
+    out = {}
+    for name, entry in comp.items():
+        try:
+            ns = float(entry["ns_per_op"])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"perf_gate: {path}: component {name!r} has no "
+                     f"usable ns_per_op")
+        if ns <= 0:
+            sys.exit(f"perf_gate: {path}: component {name!r} has "
+                     f"non-positive ns_per_op {ns}")
+        out[name] = ns
+    return out
+
+
 def main(argv):
     if len(argv) != 3:
         sys.exit(f"usage: {argv[0]} <baseline.json> <current.json>")
@@ -43,16 +80,61 @@ def main(argv):
     if not 0.0 <= threshold <= 1.0:
         sys.exit(f"perf_gate: PERF_GATE_THRESHOLD {threshold} outside "
                  "[0, 1]")
-    baseline = load_sims_per_sec(argv[1])
-    current = load_sims_per_sec(argv[2])
+    base_path, cur_path = argv[1], argv[2]
+    base_doc = load_doc(base_path)
+    cur_doc = load_doc(cur_path)
+
+    failures = []
+
+    # -- aggregate throughput -------------------------------------------
+    baseline = sims_per_sec(base_doc, base_path)
+    current = sims_per_sec(cur_doc, cur_path)
     floor = baseline * (1.0 - threshold)
     ratio = current / baseline
-    line = (f"perf_gate: baseline {baseline:.2f} sims/s, "
-            f"current {current:.2f} sims/s ({ratio:.2f}x), "
-            f"floor {floor:.2f} (threshold {threshold:.0%})")
+    print(f"perf_gate: baseline {baseline:.2f} sims/s, "
+          f"current {current:.2f} sims/s ({ratio:.2f}x), "
+          f"floor {floor:.2f} (threshold {threshold:.0%})")
     if current < floor:
-        sys.exit(line + " — REGRESSION, failing the gate")
-    print(line + " — ok")
+        failures.append(
+            f"total.sims_per_sec regressed: {current:.2f} < floor "
+            f"{floor:.2f}")
+
+    # -- per-component ns/op --------------------------------------------
+    base_comp = components(base_doc, base_path)
+    cur_comp = components(cur_doc, cur_path)
+
+    for name in sorted(cur_comp.keys() - base_comp.keys()):
+        failures.append(
+            f"component {name!r} is measured by the current bench but "
+            f"missing from the committed baseline {base_path} — the "
+            f"baseline artifact is stale; re-run the bench and commit "
+            f"the refreshed JSON")
+    for name in sorted(base_comp.keys() - cur_comp.keys()):
+        failures.append(
+            f"component {name!r} is in the committed baseline but the "
+            f"current bench no longer reports it — a renamed or "
+            f"dropped kernel would silently leave the gate; update the "
+            f"baseline deliberately")
+
+    for name in sorted(base_comp.keys() & cur_comp.keys()):
+        base_ns = base_comp[name]
+        cur_ns = cur_comp[name]
+        ceiling = base_ns * (1.0 + threshold)
+        status = "ok"
+        if cur_ns > ceiling:
+            status = "REGRESSION"
+            failures.append(
+                f"component {name!r} regressed: {cur_ns:.1f} ns/op > "
+                f"ceiling {ceiling:.1f} (baseline {base_ns:.1f})")
+        print(f"perf_gate:   {name}: baseline {base_ns:.1f} ns/op, "
+              f"current {cur_ns:.1f} ns/op, ceiling {ceiling:.1f} "
+              f"— {status}")
+
+    if failures:
+        for f in failures:
+            print(f"perf_gate: FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("perf_gate: ok")
 
 
 if __name__ == "__main__":
