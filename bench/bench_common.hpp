@@ -12,6 +12,14 @@
  * Unknown or misspelled key=value arguments are rejected with a
  * "did you mean" hint.
  *
+ * Sharded execution (DESIGN.md §11): workers=<n> runs the sweeps on n
+ * worker *processes* through harness::ShardCoordinator instead of the
+ * in-process pool — byte-identical tables and CSVs, by the determinism
+ * rule — and journal=<path> adds a durable pythia-journal-v1 job
+ * journal so a killed bench resumes from its last completed job (a
+ * multi-sweep bench suffixes the path with .s1, .s2, ... for its
+ * second and later sweeps).
+ *
  * Perf tracking (DESIGN.md §7): --perf-out=<path> (or perf_out=<path>)
  * makes the bench write a pythia-perf-v1 JSON artifact covering every
  * sweep it ran; quiet=1 suppresses the per-sweep stderr throughput line
@@ -47,6 +55,7 @@
 #include "harness/experiment.hpp"
 #include "harness/perf.hpp"
 #include "harness/profiler.hpp"
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "harness/timeseries.hpp"
 #include "workloads/suites.hpp"
@@ -62,12 +71,15 @@ struct BenchOptions
 {
     double sim_scale = 1.0; ///< multiplies both simulation windows
     unsigned jobs = 0;      ///< worker threads; 0 = hardware concurrency
+    unsigned workers = 0;   ///< worker processes; 0 = in-process pool
+    std::string journal;    ///< shard journal path; empty = no journal
     bool quiet = false;     ///< suppress the stderr throughput line
     bool profile = false;   ///< profile=1: profile the measured region
     std::string perf_out;   ///< perf JSON path; empty = no artifact
     std::string snapshot_dir; ///< warm-state cache dir; empty = off
     Config cli;             ///< full parse, for bench-specific keys
     harness::PerfReport perf; ///< accumulated by runSweep()
+    std::size_t sweeps_run = 0; ///< runSweep() calls so far (journal names)
 };
 
 /**
@@ -81,9 +93,9 @@ inline BenchOptions
 parseBenchArgs(int argc, char** argv,
                const std::vector<std::string>& extra_keys = {})
 {
-    std::vector<std::string> allowed = {"sim_scale", "jobs", "quiet",
-                                        "perf_out", "snapshot_dir",
-                                        "profile"};
+    std::vector<std::string> allowed = {"sim_scale", "jobs", "workers",
+                                        "journal",   "quiet", "perf_out",
+                                        "snapshot_dir", "profile"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     BenchOptions opt;
     {
@@ -117,6 +129,15 @@ parseBenchArgs(int argc, char** argv,
         if (jobs < 0)
             throw std::invalid_argument("jobs must be >= 0 (0 = auto)");
         opt.jobs = static_cast<unsigned>(jobs);
+        const std::int64_t workers = opt.cli.getInt("workers", 0);
+        if (workers < 0)
+            throw std::invalid_argument(
+                "workers must be >= 0 (0 = in-process pool)");
+        opt.workers = static_cast<unsigned>(workers);
+        opt.journal = opt.cli.getString("journal", "");
+        if (!opt.journal.empty() && opt.workers == 0)
+            throw std::invalid_argument(
+                "journal= requires workers=<n> (sharded execution)");
         opt.quiet = opt.cli.getBool("quiet", false);
         opt.profile = opt.cli.getBool("profile", false);
         opt.perf_out = opt.cli.getString("perf_out", "");
@@ -135,6 +156,12 @@ parseBenchArgs(int argc, char** argv,
  * sweep's timing into @p opt.perf and, when perf_out is set, rewrites
  * the JSON artifact after every sweep so the last write of a
  * multi-sweep bench always holds the complete picture.
+ *
+ * workers=<n> swaps the in-process pool for a ShardCoordinator over n
+ * worker subprocesses; by the determinism rule the outcomes, tables and
+ * CSVs are byte-identical either way. journal= makes the sharded run
+ * resumable after a crash — each sweep of a multi-sweep bench journals
+ * to its own file (.s1, .s2, ... suffixes after the first).
  */
 inline std::vector<harness::Runner::Outcome>
 runSweep(harness::Sweep& sweep, harness::Runner& runner,
@@ -149,10 +176,31 @@ runSweep(harness::Sweep& sweep, harness::Runner& runner,
         else
             runner.setSnapshotDir(opt.snapshot_dir);
     }
+    if (opt.workers > 0) {
+        harness::ShardOptions shard;
+        shard.workers = opt.workers;
+        shard.snapshot_dir = opt.snapshot_dir;
+        if (!opt.journal.empty())
+            shard.journal_path =
+                opt.sweeps_run == 0
+                    ? opt.journal
+                    : opt.journal + ".s" + std::to_string(opt.sweeps_run);
+        shard.report_os = opt.quiet ? nullptr : &std::cerr;
+        harness::ShardCoordinator coordinator(shard);
+        auto outcomes = coordinator.run(runner, sweep);
+        ++opt.sweeps_run;
+        opt.perf.setJobs(opt.jobs == 0 ? 1 : opt.jobs);
+        opt.perf.setWorkers(opt.workers);
+        opt.perf.addSweep(coordinator.lastReport().sweep);
+        if (!opt.perf_out.empty() && !opt.perf.writeTo(opt.perf_out))
+            std::cerr << "[perf] cannot write " << opt.perf_out << "\n";
+        return outcomes;
+    }
     harness::ParallelRunner pool(opt.jobs);
     if (opt.quiet)
         pool.reportTo(nullptr);
     auto outcomes = pool.run(runner, sweep);
+    ++opt.sweeps_run;
     opt.perf.setJobs(pool.jobs());
     opt.perf.addSweep(pool.lastReport());
     if (!opt.perf_out.empty() && !opt.perf.writeTo(opt.perf_out))

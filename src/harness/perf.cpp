@@ -112,6 +112,8 @@ PerfReport::toJson() const
     json += "  \"schema\": \"pythia-perf-v1\",\n";
     json += "  \"bench\": \"" + esc(bench_) + "\",\n";
     json += "  \"jobs\": " + std::to_string(jobs_) + ",\n";
+    if (workers_ > 0)
+        json += "  \"workers\": " + std::to_string(workers_) + ",\n";
     json += "  \"sweeps\": [";
     for (std::size_t i = 0; i < sweeps_.size(); ++i) {
         const SweepPerf& s = sweeps_[i];

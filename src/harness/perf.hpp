@@ -85,6 +85,14 @@ class PerfReport
     void setJobs(unsigned jobs) { jobs_ = jobs; }
     unsigned jobs() const { return jobs_; }
 
+    /** Worker *processes* the bench sharded over (workers= knob;
+     *  DESIGN.md §11). Stamped as a top-level "workers" field — only
+     *  when nonzero, so in-process runs keep the exact historical
+     *  artifact shape. Still pythia-perf-v1: consumers ignore unknown
+     *  keys. */
+    void setWorkers(unsigned workers) { workers_ = workers; }
+    unsigned workers() const { return workers_; }
+
     /** Fold one executed sweep's report into the accumulated totals. */
     void addSweep(const SweepReport& report);
 
@@ -127,6 +135,7 @@ class PerfReport
   private:
     std::string bench_;
     unsigned jobs_ = 0;
+    unsigned workers_ = 0;
     std::vector<SweepPerf> sweeps_;
     std::vector<ComponentPerf> components_;
 };

@@ -1,0 +1,1271 @@
+#include "harness/shard.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/session.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace pythia::harness {
+
+namespace {
+
+/** Upper bound on any wire frame or journal record payload: a Result
+ *  carries two RunResults plus metrics — kilobytes, not megabytes — so
+ *  anything near this limit is corruption, not data. */
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+// ------------------------------------------------------------ raw I/O
+
+/** write() the whole buffer, retrying EINTR. False on EPIPE/any error. */
+bool
+writeFull(int fd, const void* data, std::size_t n)
+{
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** read() exactly @p n bytes. 1 = ok, 0 = clean EOF before any byte,
+ *  -1 = error or EOF mid-read. */
+int
+readFull(int fd, void* data, std::size_t n)
+{
+    auto* p = static_cast<std::uint8_t*>(data);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(r);
+    }
+    return 1;
+}
+
+/** Frame = u32 little-endian payload length + payload bytes. */
+bool
+writeFrame(int fd, const std::vector<std::uint8_t>& payload)
+{
+    std::uint8_t hdr[4];
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    return writeFull(fd, hdr, 4) &&
+           writeFull(fd, payload.data(), payload.size());
+}
+
+/** Blocking frame read (worker side). 1 = frame in @p payload,
+ *  0 = clean EOF at a frame boundary, -1 = error / truncated frame. */
+int
+readFrame(int fd, std::vector<std::uint8_t>& payload)
+{
+    std::uint8_t hdr[4];
+    const int r = readFull(fd, hdr, 4);
+    if (r <= 0)
+        return r;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+    if (len > kMaxPayload)
+        return -1;
+    payload.resize(len);
+    return readFull(fd, payload.data(), len) == 1 ? 1 : -1;
+}
+
+// ------------------------------------------------------- frame types
+
+enum : std::uint8_t
+{
+    kFrameHello = 1,    ///< coordinator -> worker, once per spawn
+    kFrameHelloAck = 2, ///< worker -> coordinator
+    kFrameJob = 3,      ///< coordinator -> worker
+    kFrameResult = 4,   ///< worker -> coordinator
+};
+
+enum : std::uint8_t
+{
+    kErrInvalidArgument = 1,
+    kErrRuntime = 2,
+    kErrOther = 3,
+};
+
+// --------------------------------------------------- spec (de)coding
+
+void
+writePythiaConfig(snap::Writer& w, const rl::PythiaConfig& cfg)
+{
+    w.str(cfg.name);
+    w.u64(cfg.features.size());
+    for (const auto& f : cfg.features) {
+        w.u8(static_cast<std::uint8_t>(f.control));
+        w.u8(static_cast<std::uint8_t>(f.data));
+    }
+    w.u64(cfg.actions.size());
+    for (std::int32_t a : cfg.actions)
+        w.i32(a);
+    w.f64(cfg.rewards.r_at);
+    w.f64(cfg.rewards.r_al);
+    w.f64(cfg.rewards.r_cl);
+    w.f64(cfg.rewards.r_in_high);
+    w.f64(cfg.rewards.r_in_low);
+    w.f64(cfg.rewards.r_np_high);
+    w.f64(cfg.rewards.r_np_low);
+    w.f64(cfg.alpha);
+    w.f64(cfg.gamma);
+    w.f64(cfg.epsilon);
+    w.u64(cfg.eq_size);
+    w.u32(cfg.degree);
+    w.u32(cfg.planes);
+    w.u32(cfg.plane_index_bits);
+    w.u64(cfg.seed);
+}
+
+rl::PythiaConfig
+readPythiaConfig(snap::Reader& r)
+{
+    rl::PythiaConfig cfg;
+    cfg.name = r.str();
+    cfg.features.clear();
+    const std::uint64_t nf = r.u64();
+    cfg.features.reserve(static_cast<std::size_t>(nf));
+    for (std::uint64_t i = 0; i < nf; ++i) {
+        rl::FeatureSpec f;
+        f.control = static_cast<rl::ControlKind>(r.u8());
+        f.data = static_cast<rl::DataKind>(r.u8());
+        cfg.features.push_back(f);
+    }
+    cfg.actions.clear();
+    const std::uint64_t na = r.u64();
+    cfg.actions.reserve(static_cast<std::size_t>(na));
+    for (std::uint64_t i = 0; i < na; ++i)
+        cfg.actions.push_back(r.i32());
+    cfg.rewards.r_at = r.f64();
+    cfg.rewards.r_al = r.f64();
+    cfg.rewards.r_cl = r.f64();
+    cfg.rewards.r_in_high = r.f64();
+    cfg.rewards.r_in_low = r.f64();
+    cfg.rewards.r_np_high = r.f64();
+    cfg.rewards.r_np_low = r.f64();
+    cfg.alpha = r.f64();
+    cfg.gamma = r.f64();
+    cfg.epsilon = r.f64();
+    cfg.eq_size = static_cast<std::size_t>(r.u64());
+    cfg.degree = r.u32();
+    cfg.planes = r.u32();
+    cfg.plane_index_bits = r.u32();
+    cfg.seed = r.u64();
+    return cfg;
+}
+
+void
+writeRunResult(snap::Writer& w, const sim::RunResult& rr)
+{
+    w.vecF64(rr.ipc);
+    w.f64(rr.ipc_geomean);
+    w.u64(rr.instructions);
+    w.u64(rr.llc_demand_load_misses);
+    w.u64(rr.llc_read_misses);
+    w.u64(rr.prefetch_issued);
+    w.u64(rr.prefetch_useful);
+    w.u64(rr.prefetch_useless);
+    w.u64(rr.prefetch_late);
+    w.vecF64(rr.dram_buckets);
+    w.f64(rr.dram_utilization);
+    w.vecU64(rr.core_cycles);
+    w.vecU64(rr.dram_bucket_epochs);
+}
+
+sim::RunResult
+readRunResult(snap::Reader& r)
+{
+    sim::RunResult rr;
+    rr.ipc = r.vecF64();
+    rr.ipc_geomean = r.f64();
+    rr.instructions = r.u64();
+    rr.llc_demand_load_misses = r.u64();
+    rr.llc_read_misses = r.u64();
+    rr.prefetch_issued = r.u64();
+    rr.prefetch_useful = r.u64();
+    rr.prefetch_useless = r.u64();
+    rr.prefetch_late = r.u64();
+    rr.dram_buckets = r.vecF64();
+    rr.dram_utilization = r.f64();
+    rr.core_cycles = r.vecU64();
+    rr.dram_bucket_epochs = r.vecU64();
+    return rr;
+}
+
+// -------------------------------------------------- journal encoding
+
+/** Serialized journal header: magic + version + fingerprint + FNV of
+ *  the preceding bytes, written in one write() so a crash leaves
+ *  either nothing or a truncated (recoverable) prefix. */
+std::vector<std::uint8_t>
+encodeJournalHeader(const std::string& fingerprint)
+{
+    snap::Writer w;
+    w.bytes(kJournalMagic, sizeof kJournalMagic);
+    w.u32(kJournalVersion);
+    w.str(fingerprint);
+    const std::uint64_t sum = snap::fnv1a(w.buffer().data(), w.size());
+    w.u64(sum);
+    return w.buffer();
+}
+
+/** One journal record: u32 payload length + payload + u64 FNV-1a of
+ *  the payload. Payload = kind(u8=1) + job id + outcome + seconds. */
+std::vector<std::uint8_t>
+encodeJournalRecord(std::size_t job, const Runner::Outcome& o,
+                    double seconds)
+{
+    snap::Writer p;
+    p.u8(1);
+    p.u64(job);
+    writeOutcome(p, o);
+    p.f64(seconds);
+
+    snap::Writer rec;
+    rec.u32(static_cast<std::uint32_t>(p.size()));
+    rec.bytes(p.buffer().data(), p.size());
+    rec.u64(snap::fnv1a(p.buffer().data(), p.size()));
+    return rec.buffer();
+}
+
+// ------------------------------------------------------- test hooks
+
+/** Coordinator crash hook (tests/CI): PYTHIA_SHARD_TEST_CRASH=
+ *  <pre_flush|post_flush>:<k> — _exit(137) when the k-th worker
+ *  result arrives, before/after the journal append+flush. */
+struct CrashHook
+{
+    bool pre_flush = false;
+    bool post_flush = false;
+    std::size_t at_result = 0; ///< 1-based arrival count; 0 = disabled
+
+    static CrashHook fromEnv()
+    {
+        CrashHook h;
+        const char* v = std::getenv("PYTHIA_SHARD_TEST_CRASH");
+        if (!v || !*v)
+            return h;
+        const std::string s = v;
+        const auto colon = s.find(':');
+        const std::string point = s.substr(0, colon);
+        if (point == "pre_flush")
+            h.pre_flush = true;
+        else if (point == "post_flush")
+            h.post_flush = true;
+        else
+            throw ShardError("PYTHIA_SHARD_TEST_CRASH: unknown point '" +
+                             point + "' (want pre_flush|post_flush)");
+        h.at_result = colon == std::string::npos
+                          ? 1
+                          : static_cast<std::size_t>(
+                                std::stoull(s.substr(colon + 1)));
+        return h;
+    }
+};
+
+/** Restore the previous SIGPIPE disposition on scope exit: a worker
+ *  dying mid-dispatch must surface as EPIPE, not kill the
+ *  coordinator. */
+class ScopedSigpipeIgnore
+{
+  public:
+    ScopedSigpipeIgnore() { prev_ = ::signal(SIGPIPE, SIG_IGN); }
+    ~ScopedSigpipeIgnore() { ::signal(SIGPIPE, prev_); }
+
+  private:
+    using Handler = void (*)(int);
+    Handler prev_;
+};
+
+} // namespace
+
+// --------------------------------------------------- public payloads
+
+void
+writeSpec(snap::Writer& w, const ExperimentSpec& spec)
+{
+    w.str(spec.workload);
+    w.u64(spec.mix.size());
+    for (const auto& m : spec.mix)
+        w.str(m);
+    w.str(spec.prefetcher);
+    w.str(spec.l1_prefetcher);
+    w.u32(spec.num_cores);
+    w.u32(spec.mtps);
+    w.u64(spec.llc_bytes_per_core);
+    w.u64(spec.warmup_instrs);
+    w.u64(spec.sim_instrs);
+    w.u64(spec.workload_seed);
+    w.boolean(spec.pythia_cfg.has_value());
+    if (spec.pythia_cfg)
+        writePythiaConfig(w, *spec.pythia_cfg);
+}
+
+ExperimentSpec
+readSpec(snap::Reader& r)
+{
+    ExperimentSpec spec;
+    spec.workload = r.str();
+    const std::uint64_t nm = r.u64();
+    spec.mix.clear();
+    spec.mix.reserve(static_cast<std::size_t>(nm));
+    for (std::uint64_t i = 0; i < nm; ++i)
+        spec.mix.push_back(r.str());
+    spec.prefetcher = r.str();
+    spec.l1_prefetcher = r.str();
+    spec.num_cores = r.u32();
+    spec.mtps = r.u32();
+    spec.llc_bytes_per_core = r.u64();
+    spec.warmup_instrs = r.u64();
+    spec.sim_instrs = r.u64();
+    spec.workload_seed = r.u64();
+    if (r.boolean())
+        spec.pythia_cfg = readPythiaConfig(r);
+    else
+        spec.pythia_cfg.reset();
+    return spec;
+}
+
+void
+writeOutcome(snap::Writer& w, const Runner::Outcome& o)
+{
+    writeRunResult(w, o.run);
+    writeRunResult(w, o.baseline);
+    w.f64(o.metrics.speedup);
+    w.f64(o.metrics.coverage);
+    w.f64(o.metrics.overprediction);
+    w.f64(o.metrics.accuracy);
+}
+
+Runner::Outcome
+readOutcome(snap::Reader& r)
+{
+    Runner::Outcome o;
+    o.run = readRunResult(r);
+    o.baseline = readRunResult(r);
+    o.metrics.speedup = r.f64();
+    o.metrics.coverage = r.f64();
+    o.metrics.overprediction = r.f64();
+    o.metrics.accuracy = r.f64();
+    return o;
+}
+
+std::string
+sweepFingerprint(const Sweep& sweep)
+{
+    std::ostringstream fp;
+    fp << "format=" << kJournalSchemaName << ';' << "jobs="
+       << sweep.size() << ';';
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        fp << "job" << i << '=';
+        if (sweep.isTask(i)) {
+            fp << "task";
+        } else {
+            std::ostringstream hex;
+            hex << std::hex
+                << snap::fnv1a(fingerprintFor(sweep.spec(i)));
+            fp << hex.str();
+        }
+        fp << ';';
+    }
+    return fp.str();
+}
+
+// ------------------------------------------------------ journal scan
+
+JournalScan
+scanJournal(const std::string& path,
+            const std::string& expected_fingerprint, std::size_t n_jobs)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw snap::IoError("cannot read journal: " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(f)),
+        std::istreambuf_iterator<char>());
+    f.close();
+
+    JournalScan scan;
+
+    // Header. A file shorter than a complete header is a crash during
+    // the very first write: the whole file is a discardable tail.
+    const auto truncated_header = [&]() -> JournalScan {
+        scan.discarded_tail_bytes = bytes.size();
+        scan.valid_bytes = 0;
+        return scan;
+    };
+    if (bytes.size() < sizeof kJournalMagic) {
+        if (std::memcmp(bytes.data(), kJournalMagic, bytes.size()) == 0)
+            return truncated_header();
+        throw JournalCorruptError("journal corrupt: " + path +
+                                  " is not a " + kJournalSchemaName +
+                                  " file (bad magic)");
+    }
+    if (std::memcmp(bytes.data(), kJournalMagic,
+                    sizeof kJournalMagic) != 0)
+        throw JournalCorruptError("journal corrupt: " + path +
+                                  " is not a " + kJournalSchemaName +
+                                  " file (bad magic)");
+
+    std::size_t header_end = 0;
+    try {
+        snap::Reader r(bytes.data(), bytes.size());
+        r.skip(sizeof kJournalMagic);
+        const std::uint32_t version = r.u32();
+        if (version != kJournalVersion)
+            throw JournalError(
+                "journal version " + std::to_string(version) +
+                " unsupported (this build reads version " +
+                std::to_string(kJournalVersion) + ")");
+        scan.fingerprint = r.str();
+        const std::size_t sum_at = r.position();
+        const std::uint64_t stored = r.u64();
+        const std::uint64_t computed = snap::fnv1a(bytes.data(), sum_at);
+        if (stored != computed)
+            throw JournalCorruptError(
+                "journal corrupt: header checksum mismatch in " + path);
+        header_end = r.position();
+    } catch (const snap::CorruptError&) {
+        // The header itself ends mid-field: crash during the first
+        // write. Recoverable, like any truncated tail.
+        return truncated_header();
+    }
+
+    if (!expected_fingerprint.empty() &&
+        scan.fingerprint != expected_fingerprint) {
+        throw JournalFingerprintError(
+            "journal fingerprint mismatch (journal written by a "
+            "different sweep?) — " +
+            snap::diffFingerprints(scan.fingerprint,
+                                   expected_fingerprint));
+    }
+
+    // Records.
+    std::size_t p = header_end;
+    scan.valid_bytes = p;
+    std::size_t index = 0;
+    while (p < bytes.size()) {
+        const std::size_t rem = bytes.size() - p;
+        if (rem < 4) {
+            scan.discarded_tail_bytes = rem;
+            break;
+        }
+        std::uint32_t len = 0;
+        for (int i = 0; i < 4; ++i)
+            len |= static_cast<std::uint32_t>(bytes[p + i]) << (8 * i);
+        if (len > kMaxPayload)
+            throw JournalCorruptError(
+                "journal corrupt: record " + std::to_string(index) +
+                " at byte offset " + std::to_string(p) +
+                ": implausible length " + std::to_string(len));
+        if (rem < 4ull + len + 8) {
+            // Crash mid-append: the tail record never completed.
+            scan.discarded_tail_bytes = rem;
+            break;
+        }
+        const std::uint8_t* payload = bytes.data() + p + 4;
+        std::uint64_t stored = 0;
+        for (int i = 0; i < 8; ++i)
+            stored |= static_cast<std::uint64_t>(payload[len + i])
+                      << (8 * i);
+        const std::uint64_t computed = snap::fnv1a(payload, len);
+        if (stored != computed)
+            throw JournalCorruptError(
+                "journal corrupt: record " + std::to_string(index) +
+                " at byte offset " + std::to_string(p) +
+                ": checksum mismatch (stored " + std::to_string(stored) +
+                ", computed " + std::to_string(computed) + ")");
+        try {
+            snap::Reader r(payload, len);
+            const std::uint8_t kind = r.u8();
+            if (kind != 1)
+                throw JournalCorruptError(
+                    "journal corrupt: record " + std::to_string(index) +
+                    ": unknown kind " + std::to_string(kind));
+            JournalEntry e;
+            e.job = static_cast<std::size_t>(r.u64());
+            if (e.job >= n_jobs)
+                throw JournalCorruptError(
+                    "journal corrupt: record " + std::to_string(index) +
+                    ": job id " + std::to_string(e.job) +
+                    " out of range (sweep has " + std::to_string(n_jobs) +
+                    " jobs)");
+            e.outcome = readOutcome(r);
+            e.seconds = r.f64();
+            if (!r.atEnd())
+                throw JournalCorruptError(
+                    "journal corrupt: record " + std::to_string(index) +
+                    ": " + std::to_string(r.remaining()) +
+                    " trailing bytes");
+            scan.entries.push_back(std::move(e));
+        } catch (const snap::CorruptError& e) {
+            throw JournalCorruptError(
+                "journal corrupt: record " + std::to_string(index) +
+                ": " + e.what());
+        }
+        p += 4ull + len + 8;
+        scan.valid_bytes = p;
+        ++index;
+    }
+    return scan;
+}
+
+// ------------------------------------------------------- worker main
+
+int
+shardWorkerMain(int argc, char** argv)
+{
+    if (argc != 5) {
+        std::fprintf(stderr,
+                     "usage: sweep_worker <in_fd> <out_fd> <index> "
+                     "<generation>\n"
+                     "Shard worker of the %s protocol; spawned by "
+                     "harness::ShardCoordinator, not run by hand.\n",
+                     kWireSchemaName);
+        return 2;
+    }
+    const int in_fd = std::atoi(argv[1]);
+    const int out_fd = std::atoi(argv[2]);
+    const unsigned index = static_cast<unsigned>(std::atoi(argv[3]));
+    const unsigned generation =
+        static_cast<unsigned>(std::atoi(argv[4]));
+    ::signal(SIGPIPE, SIG_IGN);
+
+    // Fault-injection hooks (tests + CI). Kill hooks apply only to the
+    // first spawn (generation 0) so the respawned worker makes
+    // progress; the slow hook applies to every generation.
+    const char* kw = std::getenv("PYTHIA_SHARD_KILL_WORKER");
+    const bool kill_me = kw && generation == 0 &&
+                         static_cast<unsigned>(std::atoi(kw)) == index;
+    const char* kp = std::getenv("PYTHIA_SHARD_KILL_POINT");
+    const std::string kill_point = kp ? kp : "recv";
+    const char* ka = std::getenv("PYTHIA_SHARD_KILL_AFTER");
+    const std::size_t kill_after =
+        ka ? static_cast<std::size_t>(std::atoll(ka)) : 1;
+    const char* sw = std::getenv("PYTHIA_SHARD_SLOW_WORKER");
+    const bool slow_me =
+        sw && static_cast<unsigned>(std::atoi(sw)) == index;
+    const char* sm = std::getenv("PYTHIA_SHARD_SLOW_MS");
+    const int slow_ms = sm ? std::atoi(sm) : 200;
+
+    if (kill_me && kill_point == "start")
+        ::raise(SIGKILL);
+
+    // Handshake.
+    std::vector<std::uint8_t> payload;
+    if (readFrame(in_fd, payload) != 1)
+        return 1;
+    std::string snapshot_dir;
+    try {
+        snap::Reader r(payload.data(), payload.size());
+        if (r.u8() != kFrameHello)
+            throw WireError("worker: first frame is not Hello");
+        const std::string schema = r.str();
+        const std::uint32_t version = r.u32();
+        if (schema != kWireSchemaName || version != kWireVersion)
+            throw WireError("worker: wire schema mismatch (got " +
+                            schema + " v" + std::to_string(version) +
+                            ", want " + kWireSchemaName + " v" +
+                            std::to_string(kWireVersion) + ")");
+        (void)r.u32(); // worker index, informational (argv is binding)
+        snapshot_dir = r.str();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "[sweep_worker %u] %s\n", index, e.what());
+        return 1;
+    }
+    {
+        snap::Writer w;
+        w.u8(kFrameHelloAck);
+        w.str(kWireSchemaName);
+        w.u32(kWireVersion);
+        if (!writeFrame(out_fd, w.buffer()))
+            return 1;
+    }
+
+    Runner runner;
+    if (!snapshot_dir.empty() &&
+        std::filesystem::is_directory(snapshot_dir))
+        runner.setSnapshotDir(snapshot_dir);
+
+    std::size_t jobs_seen = 0;
+    for (;;) {
+        const int r = readFrame(in_fd, payload);
+        if (r == 0)
+            return 0; // coordinator closed the pipe: clean shutdown
+        if (r < 0)
+            return 1;
+        std::uint64_t job = 0;
+        ExperimentSpec spec;
+        try {
+            snap::Reader rd(payload.data(), payload.size());
+            if (rd.u8() != kFrameJob)
+                return 1;
+            job = rd.u64();
+            spec = readSpec(rd);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "[sweep_worker %u] bad job frame: %s\n",
+                         index, e.what());
+            return 1;
+        }
+
+        ++jobs_seen;
+        if (kill_me && kill_point == "recv" && jobs_seen == kill_after)
+            ::raise(SIGKILL);
+        if (slow_me)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slow_ms));
+
+        snap::Writer w;
+        w.u8(kFrameResult);
+        w.u64(job);
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            const Runner::Outcome outcome = runner.evaluate(spec);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            w.u8(1);
+            writeOutcome(w, outcome);
+            w.f64(seconds);
+        } catch (const std::invalid_argument& e) {
+            w.u8(0);
+            w.u8(kErrInvalidArgument);
+            w.str(e.what());
+        } catch (const std::runtime_error& e) {
+            w.u8(0);
+            w.u8(kErrRuntime);
+            w.str(e.what());
+        } catch (const std::exception& e) {
+            w.u8(0);
+            w.u8(kErrOther);
+            w.str(e.what());
+        }
+        if (kill_me && kill_point == "pre_send" &&
+            jobs_seen == kill_after)
+            ::raise(SIGKILL);
+        if (!writeFrame(out_fd, w.buffer()))
+            return 1;
+    }
+}
+
+// ------------------------------------------------------- coordinator
+
+namespace {
+
+/** Resolve the worker binary: explicit option, then the
+ *  PYTHIA_SWEEP_WORKER env var, then a sweep_worker sibling of the
+ *  running executable (the build-tree layout). */
+std::string
+resolveWorkerPath(const std::string& explicit_path)
+{
+    if (!explicit_path.empty())
+        return explicit_path;
+    if (const char* env = std::getenv("PYTHIA_SWEEP_WORKER");
+        env && *env)
+        return env;
+    std::error_code ec;
+    const auto self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec)
+        return (self.parent_path() / "sweep_worker").string();
+    return "sweep_worker";
+}
+
+/** One worker subprocess and its coordinator-side state. */
+struct WorkerSlot
+{
+    unsigned index = 0;
+    unsigned generation = 0;
+    pid_t pid = -1;
+    int to_fd = -1;   ///< coordinator writes Job frames here
+    int from_fd = -1; ///< coordinator reads Result frames here
+    bool alive = false;
+    bool acked = false;
+    std::optional<std::size_t> job; ///< currently dispatched job
+    std::chrono::steady_clock::time_point dispatched_at{};
+    std::vector<std::uint8_t> buf;  ///< partial-frame accumulator
+};
+
+/** Mutable run state shared by the coordinator loop helpers. */
+struct RunState
+{
+    std::size_t n = 0;
+    std::vector<Runner::Outcome> results;
+    std::vector<char> have;
+    std::vector<double> job_seconds;
+    std::deque<std::size_t> pending; ///< spec jobs awaiting dispatch
+    std::vector<unsigned> inflight;  ///< concurrent dispatches per job
+    std::vector<unsigned> restarts;  ///< worker deaths charged per job
+    /** First error per job: wire kind + what (workers) or the live
+     *  exception (in-coordinator task jobs). */
+    struct JobError
+    {
+        std::uint8_t kind = 0;
+        std::string what;
+        std::exception_ptr eptr;
+    };
+    std::map<std::size_t, JobError> errors;
+    std::size_t spec_total = 0;
+    std::size_t spec_done = 0;
+    std::size_t arrivals = 0; ///< results received over the wire
+};
+
+[[noreturn]] void
+rethrowJobError(const RunState::JobError& e)
+{
+    if (e.eptr)
+        std::rethrow_exception(e.eptr);
+    switch (e.kind) {
+    case kErrInvalidArgument:
+        throw std::invalid_argument(e.what);
+    default:
+        throw std::runtime_error(e.what);
+    }
+}
+
+} // namespace
+
+ShardCoordinator::ShardCoordinator(ShardOptions opt)
+    : opt_(std::move(opt))
+{
+    if (opt_.workers == 0)
+        opt_.workers = 1;
+}
+
+std::vector<Runner::Outcome>
+ShardCoordinator::run(Runner& runner, const Sweep& sweep)
+{
+    report_ = ShardReport{};
+    RunState st;
+    st.n = sweep.size();
+    st.results.resize(st.n);
+    st.have.assign(st.n, 0);
+    st.job_seconds.assign(st.n, 0.0);
+    st.inflight.assign(st.n, 0);
+    st.restarts.assign(st.n, 0);
+    if (st.n == 0)
+        return {};
+
+    const CrashHook crash = CrashHook::fromEnv();
+    const std::string fingerprint = sweepFingerprint(sweep);
+
+    // ---- journal pre-scan: recover completed jobs, drop a torn tail.
+    int journal_fd = -1;
+    if (!opt_.journal_path.empty()) {
+        std::error_code ec;
+        const bool exists =
+            std::filesystem::exists(opt_.journal_path, ec) && !ec &&
+            std::filesystem::file_size(opt_.journal_path, ec) > 0 && !ec;
+        bool need_header = true;
+        if (exists) {
+            const JournalScan scan =
+                scanJournal(opt_.journal_path, fingerprint, st.n);
+            for (const auto& e : scan.entries) {
+                if (e.job < st.n && !st.have[e.job] &&
+                    !sweep.tasks_[e.job]) {
+                    st.results[e.job] = e.outcome;
+                    st.job_seconds[e.job] = e.seconds;
+                    st.have[e.job] = 1;
+                    ++report_.resumed_jobs;
+                }
+            }
+            if (scan.discarded_tail_bytes > 0) {
+                std::cerr << "[shard] journal " << opt_.journal_path
+                          << ": discarding " << scan.discarded_tail_bytes
+                          << " trailing bytes (truncated record from an "
+                             "interrupted append); its job will re-run\n";
+                report_.discarded_tail_bytes = scan.discarded_tail_bytes;
+                std::filesystem::resize_file(opt_.journal_path,
+                                             scan.valid_bytes, ec);
+                if (ec)
+                    throw snap::IoError("cannot truncate journal " +
+                                        opt_.journal_path + ": " +
+                                        ec.message());
+            }
+            need_header = scan.valid_bytes == 0;
+        }
+        journal_fd = ::open(opt_.journal_path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (journal_fd < 0)
+            throw snap::IoError("cannot open journal " +
+                                opt_.journal_path + ": " +
+                                std::strerror(errno));
+        if (need_header) {
+            const auto hdr = encodeJournalHeader(fingerprint);
+            if (!writeFull(journal_fd, hdr.data(), hdr.size())) {
+                ::close(journal_fd);
+                throw snap::IoError("cannot write journal header to " +
+                                    opt_.journal_path);
+            }
+            ::fdatasync(journal_fd);
+        }
+    }
+    // Close the journal fd on every exit path.
+    struct FdCloser
+    {
+        int fd;
+        ~FdCloser()
+        {
+            if (fd >= 0)
+                ::close(fd);
+        }
+    } journal_closer{journal_fd};
+
+    // ---- classify jobs.
+    for (std::size_t i = 0; i < st.n; ++i) {
+        if (sweep.tasks_[i])
+            continue; // task jobs run in-coordinator below
+        ++st.spec_total;
+        if (st.have[i])
+            ++st.spec_done;
+        else
+            st.pending.push_back(i);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ScopedSigpipeIgnore sigpipe_guard;
+
+    // ---- workers.
+    const std::string worker_path = resolveWorkerPath(opt_.worker_path);
+    if (!opt_.snapshot_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.snapshot_dir, ec);
+    }
+    std::vector<WorkerSlot> workers;
+    std::size_t total_spawns = 0;
+    const std::size_t spawn_cap =
+        static_cast<std::size_t>(opt_.workers) *
+            (opt_.max_job_restarts + 2) +
+        8;
+
+    const auto spawn = [&](WorkerSlot& wk) {
+        if (++total_spawns > spawn_cap)
+            throw ShardError(
+                "shard: worker respawn cap exceeded (" +
+                std::to_string(total_spawns - 1) +
+                " spawns) — workers are dying faster than jobs finish");
+        int to_pipe[2], from_pipe[2];
+        if (::pipe2(to_pipe, O_CLOEXEC) != 0 ||
+            ::pipe2(from_pipe, O_CLOEXEC) != 0)
+            throw ShardError(std::string("shard: pipe2 failed: ") +
+                             std::strerror(errno));
+        // argv strings must be ready before fork(): only
+        // async-signal-safe calls are allowed in the child.
+        const std::string a_in = std::to_string(to_pipe[0]);
+        const std::string a_out = std::to_string(from_pipe[1]);
+        const std::string a_idx = std::to_string(wk.index);
+        const std::string a_gen = std::to_string(wk.generation);
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            throw ShardError(std::string("shard: fork failed: ") +
+                             std::strerror(errno));
+        if (pid == 0) {
+            // Child: keep only this worker's two pipe ends across
+            // exec (everything else is O_CLOEXEC, so a sibling's
+            // death is observable as EOF).
+            ::fcntl(to_pipe[0], F_SETFD, 0);
+            ::fcntl(from_pipe[1], F_SETFD, 0);
+            char* cargv[] = {const_cast<char*>(worker_path.c_str()),
+                             const_cast<char*>(a_in.c_str()),
+                             const_cast<char*>(a_out.c_str()),
+                             const_cast<char*>(a_idx.c_str()),
+                             const_cast<char*>(a_gen.c_str()), nullptr};
+            ::execv(worker_path.c_str(), cargv);
+            ::_exit(127);
+        }
+        ::close(to_pipe[0]);
+        ::close(from_pipe[1]);
+        // Non-blocking reads: the poll loop drains whatever is buffered
+        // and must not hang when a read() lands between two frames.
+        ::fcntl(from_pipe[0], F_SETFL, O_NONBLOCK);
+        wk.pid = pid;
+        wk.to_fd = to_pipe[1];
+        wk.from_fd = from_pipe[0];
+        wk.alive = true;
+        wk.acked = false;
+        wk.job.reset();
+        wk.buf.clear();
+
+        snap::Writer hello;
+        hello.u8(kFrameHello);
+        hello.str(kWireSchemaName);
+        hello.u32(kWireVersion);
+        hello.u32(wk.index);
+        hello.str(opt_.snapshot_dir);
+        (void)writeFrame(wk.to_fd, hello.buffer());
+    };
+
+    const auto teardown = [&] {
+        for (auto& wk : workers) {
+            if (!wk.alive)
+                continue;
+            ::close(wk.to_fd);
+            ::close(wk.from_fd);
+            ::kill(wk.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(wk.pid, &status, 0);
+            wk.alive = false;
+        }
+    };
+
+    const auto appendJournal = [&](std::size_t job) {
+        ++st.arrivals;
+        if (crash.at_result && crash.pre_flush &&
+            st.arrivals == crash.at_result)
+            ::_exit(137); // simulated SIGKILL before the flush
+        if (journal_fd >= 0) {
+            const auto rec = encodeJournalRecord(
+                job, st.results[job], st.job_seconds[job]);
+            if (!writeFull(journal_fd, rec.data(), rec.size()))
+                throw snap::IoError("cannot append to journal " +
+                                    opt_.journal_path);
+            ::fdatasync(journal_fd);
+        }
+        if (crash.at_result && crash.post_flush &&
+            st.arrivals == crash.at_result)
+            ::_exit(137); // simulated SIGKILL after the flush
+    };
+
+    const auto dispatch = [&](WorkerSlot& wk) {
+        while (!st.pending.empty()) {
+            const std::size_t job = st.pending.front();
+            st.pending.pop_front();
+            if (st.have[job] || st.errors.count(job))
+                continue; // completed by a stolen duplicate meanwhile
+            snap::Writer w;
+            w.u8(kFrameJob);
+            w.u64(job);
+            writeSpec(w, sweep.specs_[job]);
+            if (!writeFrame(wk.to_fd, w.buffer())) {
+                // Worker died between poll rounds; the death handler
+                // will requeue and respawn. Put the job back first.
+                st.pending.push_front(job);
+                return;
+            }
+            wk.job = job;
+            wk.dispatched_at = std::chrono::steady_clock::now();
+            ++st.inflight[job];
+            return;
+        }
+        if (!opt_.steal)
+            return;
+        // Work stealing: the pending queue is dry but stragglers still
+        // hold jobs — speculatively re-dispatch the longest-in-flight
+        // incomplete job (at most one duplicate per job; first result
+        // wins, bit-identical by the determinism rule).
+        std::size_t victim = st.n;
+        auto oldest = std::chrono::steady_clock::time_point::max();
+        for (const auto& other : workers) {
+            if (&other == &wk || !other.alive || !other.job)
+                continue;
+            const std::size_t job = *other.job;
+            if (st.have[job] || st.errors.count(job))
+                continue;
+            if (st.inflight[job] >= 2)
+                continue;
+            if (other.dispatched_at < oldest) {
+                oldest = other.dispatched_at;
+                victim = job;
+            }
+        }
+        if (victim == st.n)
+            return;
+        snap::Writer w;
+        w.u8(kFrameJob);
+        w.u64(victim);
+        writeSpec(w, sweep.specs_[victim]);
+        if (!writeFrame(wk.to_fd, w.buffer()))
+            return;
+        wk.job = victim;
+        wk.dispatched_at = std::chrono::steady_clock::now();
+        ++st.inflight[victim];
+        ++report_.stolen_jobs;
+    };
+
+    // Parse every complete frame in a worker's accumulator.
+    const auto drainFrames = [&](WorkerSlot& wk) {
+        std::size_t off = 0;
+        while (wk.buf.size() - off >= 4) {
+            std::uint32_t len = 0;
+            for (int i = 0; i < 4; ++i)
+                len |= static_cast<std::uint32_t>(wk.buf[off + i])
+                       << (8 * i);
+            if (len > kMaxPayload)
+                throw WireError("shard: oversized frame from worker " +
+                                std::to_string(wk.index));
+            if (wk.buf.size() - off - 4 < len)
+                break;
+            snap::Reader r(wk.buf.data() + off + 4, len);
+            const std::uint8_t type = r.u8();
+            if (type == kFrameHelloAck) {
+                const std::string schema = r.str();
+                const std::uint32_t version = r.u32();
+                if (schema != kWireSchemaName || version != kWireVersion)
+                    throw WireError(
+                        "shard: wire schema mismatch from worker (got " +
+                        schema + " v" + std::to_string(version) + ")");
+                wk.acked = true;
+            } else if (type == kFrameResult) {
+                const auto job = static_cast<std::size_t>(r.u64());
+                if (job >= st.n)
+                    throw WireError("shard: result for unknown job " +
+                                    std::to_string(job));
+                const bool ok = r.u8() != 0;
+                if (wk.job && *wk.job == job)
+                    wk.job.reset();
+                if (st.inflight[job] > 0)
+                    --st.inflight[job];
+                if (ok) {
+                    Runner::Outcome outcome = readOutcome(r);
+                    const double seconds = r.f64();
+                    if (!st.have[job] && !st.errors.count(job)) {
+                        st.results[job] = std::move(outcome);
+                        st.job_seconds[job] = seconds;
+                        st.have[job] = 1;
+                        ++st.spec_done;
+                        appendJournal(job);
+                    }
+                } else {
+                    const std::uint8_t kind = r.u8();
+                    const std::string what = r.str();
+                    if (!st.have[job] && !st.errors.count(job)) {
+                        st.errors[job] = {kind, what, nullptr};
+                        ++st.spec_done;
+                        // Errors are deliberately not journaled: a
+                        // resumed sweep re-runs the job and reproduces
+                        // the same (deterministic) failure.
+                    }
+                }
+                dispatch(wk);
+            } else {
+                throw WireError("shard: unexpected frame type " +
+                                std::to_string(type) + " from worker " +
+                                std::to_string(wk.index));
+            }
+            off += 4ull + len;
+        }
+        if (off > 0)
+            wk.buf.erase(wk.buf.begin(),
+                         wk.buf.begin() +
+                             static_cast<std::ptrdiff_t>(off));
+    };
+
+    const auto onWorkerDeath = [&](WorkerSlot& wk) {
+        drainFrames(wk); // results already buffered still count
+        ::close(wk.to_fd);
+        ::close(wk.from_fd);
+        int status = 0;
+        ::waitpid(wk.pid, &status, 0);
+        wk.alive = false;
+        const bool exec_failed = !wk.acked && WIFEXITED(status) &&
+                                 WEXITSTATUS(status) == 127;
+        if (exec_failed)
+            throw ShardError("shard: cannot exec worker binary '" +
+                             worker_path +
+                             "' (set ShardOptions::worker_path or "
+                             "PYTHIA_SWEEP_WORKER)");
+        if (wk.job) {
+            const std::size_t job = *wk.job;
+            wk.job.reset();
+            if (st.inflight[job] > 0)
+                --st.inflight[job];
+            if (!st.have[job] && !st.errors.count(job) &&
+                st.inflight[job] == 0) {
+                if (++st.restarts[job] > opt_.max_job_restarts)
+                    throw ShardError(
+                        "shard: job " + std::to_string(job) +
+                        " lost its worker " +
+                        std::to_string(st.restarts[job]) +
+                        " times (max_job_restarts=" +
+                        std::to_string(opt_.max_job_restarts) + ")");
+                st.pending.push_front(job);
+            }
+        }
+        if (st.spec_done < st.spec_total) {
+            wk.generation += 1;
+            spawn(wk);
+            ++report_.worker_restarts;
+        }
+    };
+
+    unsigned n_workers = 0;
+    try {
+        n_workers = static_cast<unsigned>(std::min<std::size_t>(
+            opt_.workers, st.pending.size()));
+        workers.resize(n_workers);
+        for (unsigned i = 0; i < n_workers; ++i) {
+            workers[i].index = i;
+            spawn(workers[i]);
+        }
+        for (auto& wk : workers)
+            dispatch(wk);
+
+        // Task jobs carry closures, which cannot cross the process
+        // boundary: run them here while the fleet crunches spec jobs.
+        // Declaration-order execution keeps them deterministic; they
+        // are never journaled (re-running re-applies side effects the
+        // callbacks rely on).
+        for (std::size_t i = 0; i < st.n; ++i) {
+            if (!sweep.tasks_[i])
+                continue;
+            try {
+                const auto js = std::chrono::steady_clock::now();
+                st.results[i] = sweep.tasks_[i](runner);
+                st.job_seconds[i] =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - js)
+                        .count();
+                st.have[i] = 1;
+            } catch (...) {
+                st.errors[i] = {0, "", std::current_exception()};
+            }
+        }
+
+        // Event loop: drain results, feed idle workers, survive deaths.
+        while (st.spec_done < st.spec_total) {
+            std::vector<pollfd> fds;
+            std::vector<std::size_t> slot_of;
+            for (std::size_t i = 0; i < workers.size(); ++i) {
+                if (!workers[i].alive)
+                    continue;
+                fds.push_back({workers[i].from_fd, POLLIN, 0});
+                slot_of.push_back(i);
+            }
+            if (fds.empty())
+                throw ShardError("shard: no live workers but " +
+                                 std::to_string(st.spec_total -
+                                                st.spec_done) +
+                                 " jobs incomplete");
+            const int pr = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()), -1);
+            if (pr < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw ShardError(std::string("shard: poll failed: ") +
+                                 std::strerror(errno));
+            }
+            for (std::size_t k = 0; k < fds.size(); ++k) {
+                if (fds[k].revents == 0)
+                    continue;
+                WorkerSlot& wk = workers[slot_of[k]];
+                if (!wk.alive)
+                    continue;
+                bool dead = false;
+                if (fds[k].revents & (POLLIN | POLLHUP)) {
+                    std::uint8_t tmp[65536];
+                    for (;;) {
+                        const ssize_t r =
+                            ::read(wk.from_fd, tmp, sizeof tmp);
+                        if (r > 0) {
+                            wk.buf.insert(
+                                wk.buf.end(), tmp,
+                                tmp + static_cast<std::size_t>(r));
+                            continue;
+                        }
+                        if (r == 0) {
+                            dead = true;
+                            break;
+                        }
+                        if (errno == EINTR)
+                            continue;
+                        if (errno == EAGAIN || errno == EWOULDBLOCK)
+                            break;
+                        dead = true;
+                        break;
+                    }
+                    if (!dead)
+                        drainFrames(wk);
+                } else if (fds[k].revents & (POLLERR | POLLNVAL)) {
+                    dead = true;
+                }
+                if (dead)
+                    onWorkerDeath(wk);
+                else if (!wk.job)
+                    dispatch(wk); // idle worker: try to steal
+            }
+        }
+    } catch (...) {
+        teardown();
+        throw;
+    }
+    teardown();
+
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+
+    if (!st.errors.empty()) {
+        // First error by job index — deterministic whatever the
+        // worker count or completion order (no callbacks replay).
+        rethrowJobError(st.errors.begin()->second);
+    }
+
+    report_.sweep.experiments = st.n;
+    report_.sweep.jobs = n_workers;
+    report_.sweep.seconds = elapsed.count();
+    report_.sweep.job_seconds = st.job_seconds;
+    if (opt_.report_os) {
+        char line[192];
+        std::snprintf(line, sizeof line,
+                      "[shard] %zu experiments in %.3f s — %.2f exp/s "
+                      "(workers=%u, resumed=%zu, stolen=%zu, "
+                      "restarts=%zu)\n",
+                      st.n, report_.sweep.seconds,
+                      report_.sweep.experimentsPerSecond(), n_workers,
+                      report_.resumed_jobs, report_.stolen_jobs,
+                      report_.worker_restarts);
+        *opt_.report_os << line << std::flush;
+    }
+
+    // Ordered replay: declaration order, coordinator thread — the same
+    // contract as ParallelRunner, so tables and CSVs are byte-identical
+    // whatever the topology.
+    for (const Sweep::Action& a : sweep.actions_) {
+        if (a.is_job) {
+            if (a.on_job)
+                a.on_job(st.results[a.job]);
+        } else if (a.plain) {
+            a.plain();
+        }
+    }
+    return st.results;
+}
+
+} // namespace pythia::harness

@@ -110,8 +110,17 @@ class Sweep
      *  for addTask() jobs, which carry their work in the task body). */
     const ExperimentSpec& spec(JobId id) const { return specs_.at(id); }
 
+    /** True when job @p id was added via addTask(): its work is a
+     *  closure, so it cannot cross a process boundary (the shard
+     *  coordinator runs such jobs locally and never journals them). */
+    bool isTask(JobId id) const
+    {
+        return static_cast<bool>(tasks_.at(id));
+    }
+
   private:
     friend class ParallelRunner;
+    friend class ShardCoordinator;
 
     /** One step of the ordered replay: a job's callback or a then(). */
     struct Action

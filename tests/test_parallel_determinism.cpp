@@ -7,6 +7,11 @@
  * scheduling, the shared baseline cache must compute each key exactly
  * once under contention, and job exceptions must propagate
  * deterministically.
+ *
+ * The determinism rule extends across the process boundary (DESIGN.md
+ * §11): workers=N subprocesses via harness::ShardCoordinator must
+ * reproduce the same bits as the thread pool, and a job exception must
+ * surface as the same type with the same message whatever the topology.
  */
 #include <gtest/gtest.h>
 
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 
 namespace pythia::harness {
@@ -189,6 +195,93 @@ TEST(ParallelDeterminism, ZeroJobsResolvesToHardwareConcurrency)
     EXPECT_GE(ParallelRunner(0).jobs(), 1u);
     EXPECT_EQ(ParallelRunner(0).jobs(), ParallelRunner::defaultJobs());
     EXPECT_EQ(ParallelRunner(5).jobs(), 5u);
+}
+
+TEST(ParallelDeterminism, ThreadsAndProcessesBitIdentical)
+{
+    // The full topology matrix on one grid: jobs=8 threads vs
+    // workers=4 subprocesses vs workers=1 subprocess. Any divergence
+    // means per-process state (RNG seeding, registry order, baseline
+    // computation) leaked into the results.
+    Sweep threads_sweep = representativeSweep();
+    Runner threads_runner;
+    const auto threads = ParallelRunner(8).reportTo(nullptr).run(
+        threads_runner, threads_sweep);
+
+    const auto sharded = [](unsigned workers) {
+        Sweep sweep = representativeSweep();
+        Runner runner;
+        ShardOptions opt;
+        opt.workers = workers;
+        ShardCoordinator coordinator(opt);
+        return coordinator.run(runner, sweep);
+    };
+    const auto processes4 = sharded(4);
+    const auto processes1 = sharded(1);
+
+    ASSERT_EQ(threads.size(), processes4.size());
+    ASSERT_EQ(threads.size(), processes1.size());
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        expectBitIdentical(threads[i].run, processes4[i].run);
+        expectBitIdentical(threads[i].baseline, processes4[i].baseline);
+        expectBitIdentical(threads[i].metrics, processes4[i].metrics);
+        expectBitIdentical(threads[i].run, processes1[i].run);
+        expectBitIdentical(threads[i].baseline, processes1[i].baseline);
+        expectBitIdentical(threads[i].metrics, processes1[i].metrics);
+    }
+}
+
+TEST(ParallelDeterminism, ErrorPropagationMatchesAcrossProcessBoundary)
+{
+    // A throwing job must fail the sweep identically whatever the
+    // topology: same exception type, same message, no callbacks — and
+    // always the FIRST failing job by declaration order, even when a
+    // later failing job finishes earlier on another worker.
+    const auto build = [](std::atomic<int>& callbacks) {
+        Sweep sweep;
+        sweep.add(
+            Experiment("470.lbm-164B").warmup(1'000).measure(2'000),
+            [&callbacks](const Runner::Outcome&) { ++callbacks; });
+        sweep.add(Experiment("no-such-workload")
+                      .warmup(1'000)
+                      .measure(2'000));
+        sweep.add(
+            Experiment("also-missing").warmup(1'000).measure(2'000));
+        return sweep;
+    };
+
+    std::string inline_what;
+    {
+        std::atomic<int> callbacks{0};
+        Sweep sweep = build(callbacks);
+        Runner runner;
+        ParallelRunner pool(8);
+        pool.reportTo(nullptr);
+        try {
+            pool.run(runner, sweep);
+            FAIL() << "in-process sweep did not throw";
+        } catch (const std::invalid_argument& e) {
+            inline_what = e.what();
+        }
+        EXPECT_EQ(callbacks.load(), 0);
+    }
+    for (unsigned workers : {1u, 4u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        std::atomic<int> callbacks{0};
+        Sweep sweep = build(callbacks);
+        Runner runner;
+        ShardOptions opt;
+        opt.workers = workers;
+        ShardCoordinator coordinator(opt);
+        try {
+            coordinator.run(runner, sweep);
+            FAIL() << "sharded sweep did not throw";
+        } catch (const std::invalid_argument& e) {
+            EXPECT_EQ(std::string(e.what()), inline_what);
+        }
+        EXPECT_EQ(callbacks.load(), 0);
+    }
 }
 
 } // namespace

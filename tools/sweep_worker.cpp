@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Shard worker process: the executable harness::ShardCoordinator spawns
+ * once per worker slot. The whole protocol — handshake, job evaluation,
+ * result frames, fault-injection hooks — lives in
+ * harness::shardWorkerMain (src/harness/shard.cpp) so tests can link it
+ * directly; this translation unit only provides the entry point.
+ */
+#include "harness/shard.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return pythia::harness::shardWorkerMain(argc, argv);
+}
