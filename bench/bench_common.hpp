@@ -134,6 +134,12 @@ parseBenchArgs(int argc, char** argv,
             throw std::invalid_argument(
                 "workers must be >= 0 (0 = in-process pool)");
         opt.workers = static_cast<unsigned>(workers);
+        if (opt.workers > 0 && opt.jobs > 1)
+            throw std::invalid_argument(
+                "workers= (worker processes) and jobs=" +
+                std::to_string(opt.jobs) +
+                " (in-process pool) are mutually exclusive — sharded "
+                "execution runs one runner per worker process");
         opt.journal = opt.cli.getString("journal", "");
         if (!opt.journal.empty() && opt.workers == 0)
             throw std::invalid_argument(

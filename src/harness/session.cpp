@@ -37,7 +37,33 @@ at(const std::vector<std::uint64_t>& v, std::size_t i)
     return i < v.size() ? v[i] : 0;
 }
 
-// ------------------------------------------- snapshot codec helpers
+/** Stable hash of an explicit PythiaConfig: every field that changes
+ *  learned-state evolution participates. */
+std::string
+hashPythiaConfig(const rl::PythiaConfig& cfg)
+{
+    std::ostringstream os;
+    os << cfg.name;
+    for (const auto& f : cfg.features)
+        os << '|' << rl::featureName(f);
+    for (std::int32_t a : cfg.actions)
+        os << '|' << a;
+    os << '|' << cfg.rewards.r_at << '|' << cfg.rewards.r_al << '|'
+       << cfg.rewards.r_cl << '|' << cfg.rewards.r_in_high << '|'
+       << cfg.rewards.r_in_low << '|' << cfg.rewards.r_np_high << '|'
+       << cfg.rewards.r_np_low << '|' << cfg.alpha << '|' << cfg.gamma
+       << '|' << cfg.epsilon << '|' << cfg.eq_size << '|' << cfg.degree
+       << '|' << cfg.planes << '|' << cfg.plane_index_bits << '|'
+       << cfg.seed;
+    std::ostringstream hex;
+    hex << std::hex << std::setw(16) << std::setfill('0')
+        << snap::fnv1a(os.str());
+    return hex.str();
+}
+
+} // namespace
+
+// --------------------------------------------------- result wire codec
 
 void
 writeRunResult(snap::Writer& w, const sim::RunResult& r)
@@ -98,32 +124,6 @@ readWindowSample(snap::Reader& r)
     s.cumulative = readRunResult(r);
     return s;
 }
-
-/** Stable hash of an explicit PythiaConfig: every field that changes
- *  learned-state evolution participates. */
-std::string
-hashPythiaConfig(const rl::PythiaConfig& cfg)
-{
-    std::ostringstream os;
-    os << cfg.name;
-    for (const auto& f : cfg.features)
-        os << '|' << rl::featureName(f);
-    for (std::int32_t a : cfg.actions)
-        os << '|' << a;
-    os << '|' << cfg.rewards.r_at << '|' << cfg.rewards.r_al << '|'
-       << cfg.rewards.r_cl << '|' << cfg.rewards.r_in_high << '|'
-       << cfg.rewards.r_in_low << '|' << cfg.rewards.r_np_high << '|'
-       << cfg.rewards.r_np_low << '|' << cfg.alpha << '|' << cfg.gamma
-       << '|' << cfg.epsilon << '|' << cfg.eq_size << '|' << cfg.degree
-       << '|' << cfg.planes << '|' << cfg.plane_index_bits << '|'
-       << cfg.seed;
-    std::ostringstream hex;
-    hex << std::hex << std::setw(16) << std::setfill('0')
-        << snap::fnv1a(os.str());
-    return hex.str();
-}
-
-} // namespace
 
 std::string
 fingerprintFor(const ExperimentSpec& spec)
@@ -261,10 +261,25 @@ composeDeltas(const std::vector<sim::RunResult>& deltas)
 
 // ------------------------------------------------------------ SimSession
 
-SimSession::SimSession(ExperimentSpec spec) : spec_(std::move(spec))
+SimSession::SimSession(ExperimentSpec spec)
+    : SimSession(std::move(spec),
+                 std::vector<std::unique_ptr<wl::Workload>>{})
 {
+}
+
+SimSession::SimSession(ExperimentSpec spec,
+                       std::vector<std::unique_ptr<wl::Workload>> workloads)
+    : spec_(std::move(spec))
+{
+    if (workloads.empty())
+        workloads = workloadsFor(spec_);
+    if (workloads.size() != spec_.num_cores)
+        throw std::invalid_argument(
+            "SimSession: " + std::to_string(workloads.size()) +
+            " injected workloads for " + std::to_string(spec_.num_cores) +
+            " cores");
     system_ = std::make_unique<sim::System>(systemConfigFor(spec_),
-                                            workloadsFor(spec_));
+                                            std::move(workloads));
     for (std::uint32_t c = 0; c < spec_.num_cores; ++c) {
         if (auto l2 = buildPrefetcher(spec_.prefetcher, spec_.pythia_cfg))
             system_->attachL2Prefetcher(c, std::move(l2));
@@ -294,7 +309,15 @@ SimSession::snapshotTo(const std::string& path) const
 SimSession
 SimSession::resumeFrom(ExperimentSpec spec, const std::string& path)
 {
-    SimSession session(std::move(spec));
+    return resumeFrom(std::move(spec), path,
+                      std::vector<std::unique_ptr<wl::Workload>>{});
+}
+
+SimSession
+SimSession::resumeFrom(ExperimentSpec spec, const std::string& path,
+                       std::vector<std::unique_ptr<wl::Workload>> workloads)
+{
+    SimSession session(std::move(spec), std::move(workloads));
     const snap::SnapshotFile file =
         snap::readSnapshotFile(path, fingerprintFor(session.spec_));
     snap::Reader r = file.body();

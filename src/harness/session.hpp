@@ -47,6 +47,7 @@
 
 #include "harness/spec.hpp"
 #include "sim/system.hpp"
+#include "snapshot/codec.hpp"
 
 namespace pythia::harness {
 
@@ -72,6 +73,17 @@ struct WindowSample
     sim::RunResult delta;            ///< this window only
     sim::RunResult cumulative;       ///< since measurement start
 };
+
+/**
+ * Result codec shared by every wire/journal/snapshot consumer
+ * (snapshot files, the pythia-shard-v1 frames, the pythia-serve-v1
+ * service protocol): fixed-width little-endian via the snap codec,
+ * floats as IEEE-754 bit patterns — a round trip is bit-exact.
+ */
+void writeRunResult(snap::Writer& w, const sim::RunResult& r);
+sim::RunResult readRunResult(snap::Reader& r);
+void writeWindowSample(snap::Writer& w, const WindowSample& s);
+WindowSample readWindowSample(snap::Reader& r);
 
 /**
  * Observer hooks for a streamed session. Register per-session
@@ -138,6 +150,18 @@ class SimSession
      *  std::invalid_argument on unknown workload/prefetcher specs. */
     explicit SimSession(ExperimentSpec spec);
 
+    /**
+     * Same, but drive the cores from @p workloads instead of resolving
+     * the spec's workload/mix through the registry (the service layer
+     * injects client-streamed workloads this way). An empty vector
+     * falls back to workloadsFor(spec); otherwise the size must equal
+     * spec.num_cores (std::invalid_argument). The spec's workload
+     * fields still define the fingerprint — callers that inject a
+     * different stream own that equivalence.
+     */
+    SimSession(ExperimentSpec spec,
+               std::vector<std::unique_ptr<wl::Workload>> workloads);
+
     SimSession(SimSession&&) = default;
     SimSession& operator=(SimSession&&) = default;
     SimSession(const SimSession&) = delete;
@@ -171,6 +195,14 @@ class SimSession
      */
     static SimSession resumeFrom(ExperimentSpec spec,
                                  const std::string& path);
+
+    /** resumeFrom with injected workloads (see the two-arg ctor). The
+     *  injected streams must replay the same records the snapshotted
+     *  session consumed — restore re-derives workload position by
+     *  replaying them from the start. */
+    static SimSession
+    resumeFrom(ExperimentSpec spec, const std::string& path,
+               std::vector<std::unique_ptr<wl::Workload>> workloads);
 
     /** Register a non-owning observer (must outlive the session). */
     void addObserver(SessionObserver* observer);

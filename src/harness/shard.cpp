@@ -191,43 +191,10 @@ readPythiaConfig(snap::Reader& r)
     return cfg;
 }
 
-void
-writeRunResult(snap::Writer& w, const sim::RunResult& rr)
-{
-    w.vecF64(rr.ipc);
-    w.f64(rr.ipc_geomean);
-    w.u64(rr.instructions);
-    w.u64(rr.llc_demand_load_misses);
-    w.u64(rr.llc_read_misses);
-    w.u64(rr.prefetch_issued);
-    w.u64(rr.prefetch_useful);
-    w.u64(rr.prefetch_useless);
-    w.u64(rr.prefetch_late);
-    w.vecF64(rr.dram_buckets);
-    w.f64(rr.dram_utilization);
-    w.vecU64(rr.core_cycles);
-    w.vecU64(rr.dram_bucket_epochs);
-}
-
-sim::RunResult
-readRunResult(snap::Reader& r)
-{
-    sim::RunResult rr;
-    rr.ipc = r.vecF64();
-    rr.ipc_geomean = r.f64();
-    rr.instructions = r.u64();
-    rr.llc_demand_load_misses = r.u64();
-    rr.llc_read_misses = r.u64();
-    rr.prefetch_issued = r.u64();
-    rr.prefetch_useful = r.u64();
-    rr.prefetch_useless = r.u64();
-    rr.prefetch_late = r.u64();
-    rr.dram_buckets = r.vecF64();
-    rr.dram_utilization = r.f64();
-    rr.core_cycles = r.vecU64();
-    rr.dram_bucket_epochs = r.vecU64();
-    return rr;
-}
+// RunResult framing reuses the public session-layer codec
+// (harness::writeRunResult / readRunResult in session.hpp) — one
+// definition shared by snapshot files, shard frames and the service
+// protocol.
 
 // -------------------------------------------------- journal encoding
 

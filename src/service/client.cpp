@@ -1,0 +1,394 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pythia::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Records per kAccess frame. */
+constexpr std::uint64_t kSendBatch = 4096;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+int
+connectToServe(const std::string& address)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    if (address.rfind("unix:", 0) == 0) {
+        const std::string path = address.substr(5);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw ServeError(std::string("socket: ") +
+                             std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path)) {
+            ::close(fd);
+            throw ServeError("unix socket path too long: " + path);
+        }
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) < 0) {
+            const int err = errno;
+            ::close(fd);
+            throw ServeError("connect " + address + ": " +
+                             std::strerror(err));
+        }
+        return fd;
+    }
+    if (address.rfind("tcp:", 0) == 0) {
+        const std::string hostport = address.substr(4);
+        const std::size_t colon = hostport.rfind(':');
+        if (colon == std::string::npos)
+            throw ServeError("bad tcp address (want tcp:host:port): " +
+                             address);
+        const std::string host = hostport.substr(0, colon);
+        const int port = std::atoi(hostport.c_str() + colon + 1);
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw ServeError(std::string("socket: ") +
+                             std::strerror(errno));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            ::close(fd);
+            throw ServeError("bad tcp host (want a dotted quad): " +
+                             address);
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) < 0) {
+            const int err = errno;
+            ::close(fd);
+            throw ServeError("connect " + address + ": " +
+                             std::strerror(err));
+        }
+        return fd;
+    }
+    throw ServeError("bad serve address (want unix:<path> or "
+                     "tcp:<host>:<port>): " +
+                     address);
+}
+
+ServeClient::ServeClient(std::string address)
+    : address_(std::move(address))
+{
+}
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    inbuf_.clear();
+    outbuf_.clear();
+    out_off_ = 0;
+    records_consumed_ = 0;
+}
+
+void
+ServeClient::ensureConnected()
+{
+    if (fd_ >= 0)
+        return;
+    fd_ = connectToServe(address_);
+    setNonBlocking(fd_);
+}
+
+void
+ServeClient::queueFrame(const std::vector<std::uint8_t>& payload)
+{
+    if (payload.empty() || payload.size() > kMaxFramePayload)
+        throw ServeWireError("serve client: invalid frame payload size " +
+                             std::to_string(payload.size()));
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        outbuf_.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+    outbuf_.insert(outbuf_.end(), payload.begin(), payload.end());
+}
+
+std::optional<std::vector<std::uint8_t>>
+ServeClient::pollOnce(int timeout_ms)
+{
+    // A frame may already be buffered.
+    if (auto frame = extractFrame(inbuf_))
+        return frame;
+
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (out_off_ < outbuf_.size())
+        pfd.events |= POLLOUT;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+        if (errno == EINTR)
+            return std::nullopt;
+        throw ServeWireError(std::string("serve client: poll: ") +
+                             std::strerror(errno));
+    }
+    if (rc == 0)
+        return std::nullopt;
+
+    if (pfd.revents & POLLOUT) {
+        while (out_off_ < outbuf_.size()) {
+            const ssize_t n =
+                ::send(fd_, outbuf_.data() + out_off_,
+                       outbuf_.size() - out_off_, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    break;
+                throw ServeWireError(
+                    std::string("serve client: send: ") +
+                    std::strerror(errno));
+            }
+            out_off_ += static_cast<std::size_t>(n);
+        }
+        if (out_off_ == outbuf_.size()) {
+            outbuf_.clear();
+            out_off_ = 0;
+        } else if (out_off_ > (1u << 20)) {
+            outbuf_.erase(outbuf_.begin(),
+                          outbuf_.begin() +
+                              static_cast<std::ptrdiff_t>(out_off_));
+            out_off_ = 0;
+        }
+    }
+
+    if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+        std::uint8_t buf[65536];
+        for (;;) {
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    break;
+                throw ServeWireError(
+                    std::string("serve client: recv: ") +
+                    std::strerror(errno));
+            }
+            if (n == 0) {
+                close();
+                throw ServeWireError(
+                    "serve client: daemon closed the connection");
+            }
+            inbuf_.insert(inbuf_.end(), buf, buf + n);
+            if (static_cast<std::size_t>(n) < sizeof buf)
+                break;
+        }
+    }
+    return extractFrame(inbuf_);
+}
+
+std::vector<std::uint8_t>
+ServeClient::waitFrame(int timeout_ms)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const auto left = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline -
+                                                         Clock::now())
+                              .count();
+        if (left <= 0)
+            throw ServeWireError(
+                "serve client: timed out waiting for a frame");
+        if (auto frame =
+                pollOnce(static_cast<int>(std::min<long long>(left, 100))))
+            return *frame;
+    }
+}
+
+HelloAckMsg
+ServeClient::open(const std::string& tenant,
+                  const harness::ExperimentSpec& spec,
+                  std::uint64_t window_instrs)
+{
+    spec_ = spec;
+    window_instrs_ = window_instrs;
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    for (;;) {
+        ensureConnected();
+        HelloMsg m;
+        m.tenant = tenant;
+        m.spec = spec;
+        m.window_instrs = window_instrs;
+        queueFrame(encodeHello(m));
+        const std::vector<std::uint8_t> frame = waitFrame();
+        const FrameType type = frameType(frame);
+        if (type == FrameType::kHelloAck) {
+            const HelloAckMsg ack = decodeHelloAck(frame);
+            records_consumed_ = ack.records_consumed;
+            return ack;
+        }
+        if (type == FrameType::kError) {
+            const ErrorMsg err = decodeError(frame);
+            close(); // the daemon closes after kError
+            if (err.kind == kErrBusy && Clock::now() < deadline) {
+                // An eviction for this tenant is still in flight;
+                // back off and retry.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            throw ServeRemoteError(err.kind, err.message);
+        }
+        throw ServeWireError("serve client: unexpected frame " +
+                             std::to_string(frame[0]) +
+                             " answering hello");
+    }
+}
+
+ServeClient::RunProgress
+ServeClient::streamRun(const std::vector<wl::TraceRecord>& records,
+                       std::uint64_t from,
+                       std::optional<std::uint64_t> stop_after_windows)
+{
+    RunProgress progress;
+    // Never run further ahead of the daemon's acknowledged consumption
+    // than one warmup + one window + double slack: bounded daemon
+    // memory, and always enough for it to finish the next window.
+    const std::uint64_t ahead = spec_.warmup_instrs + window_instrs_ +
+                                2 * kGateSlack;
+    std::uint64_t sent = from;
+    auto last_window_at = Clock::now();
+    for (;;) {
+        while (sent < records.size() &&
+               sent - records_consumed_ < ahead &&
+               outbuf_.size() - out_off_ < (4u << 20)) {
+            const std::uint64_t n = std::min(
+                {kSendBatch,
+                 static_cast<std::uint64_t>(records.size()) - sent,
+                 ahead - (sent - records_consumed_)});
+            queueFrame(encodeAccess(records.data() + sent,
+                                    static_cast<std::size_t>(n)));
+            sent += n;
+            progress.records_streamed += n;
+        }
+        const std::vector<std::uint8_t> frame = waitFrame();
+        switch (frameType(frame)) {
+        case FrameType::kWindow: {
+            const WindowMsg wm = decodeWindow(frame);
+            records_consumed_ = wm.records_consumed;
+            progress.series.append(wm.window);
+            const auto now = Clock::now();
+            progress.window_gaps_s.push_back(
+                std::chrono::duration<double>(now - last_window_at)
+                    .count());
+            last_window_at = now;
+            if (stop_after_windows &&
+                progress.series.size() >= *stop_after_windows)
+                return progress;
+            break;
+        }
+        case FrameType::kRunEnd: {
+            const RunEndMsg rm = decodeRunEnd(frame);
+            records_consumed_ = rm.records_consumed;
+            progress.final_result = rm.final_result;
+            progress.windows_completed = rm.windows_completed;
+            return progress;
+        }
+        case FrameType::kError: {
+            const ErrorMsg err = decodeError(frame);
+            close();
+            throw ServeRemoteError(err.kind, err.message);
+        }
+        default:
+            throw ServeWireError(
+                "serve client: unexpected frame " +
+                std::to_string(frame[0]) + " while streaming");
+        }
+    }
+}
+
+DetachAckMsg
+ServeClient::detach(harness::TimeSeries* stray_windows)
+{
+    queueFrame(encodeDetach());
+    for (;;) {
+        const std::vector<std::uint8_t> frame = waitFrame();
+        switch (frameType(frame)) {
+        case FrameType::kDetachAck:
+            return decodeDetachAck(frame);
+        case FrameType::kWindow: {
+            const WindowMsg wm = decodeWindow(frame);
+            records_consumed_ = wm.records_consumed;
+            if (stray_windows)
+                stray_windows->append(wm.window);
+            break;
+        }
+        case FrameType::kRunEnd:
+            // The run finished before the detach landed; the daemon
+            // acks with no state to evict.
+            break;
+        case FrameType::kError: {
+            const ErrorMsg err = decodeError(frame);
+            close();
+            throw ServeRemoteError(err.kind, err.message);
+        }
+        default:
+            throw ServeWireError(
+                "serve client: unexpected frame " +
+                std::to_string(frame[0]) + " awaiting detach ack");
+        }
+    }
+}
+
+std::string
+ServeClient::stats()
+{
+    ensureConnected();
+    queueFrame(encodeStats());
+    for (;;) {
+        const std::vector<std::uint8_t> frame = waitFrame();
+        switch (frameType(frame)) {
+        case FrameType::kStatsAck:
+            return decodeStatsAck(frame);
+        case FrameType::kWindow:
+        case FrameType::kRunEnd:
+            break; // stats interleaved with a live run: skip
+        case FrameType::kError: {
+            const ErrorMsg err = decodeError(frame);
+            close();
+            throw ServeRemoteError(err.kind, err.message);
+        }
+        default:
+            throw ServeWireError(
+                "serve client: unexpected frame " +
+                std::to_string(frame[0]) + " awaiting stats");
+        }
+    }
+}
+
+} // namespace pythia::service

@@ -1,0 +1,1094 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/runner.hpp"
+#include "harness/timeseries.hpp"
+#include "service/stream_workload.hpp"
+#include "service/wire.hpp"
+
+namespace fs = std::filesystem;
+
+namespace pythia::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/** Windows the aggregate stats series retains (the tail half survives
+ *  each compaction, bounding daemon memory over a long life). */
+constexpr std::size_t kAggregateSeriesCap = 4096;
+
+/** Drain grace: frames unflushed after this many ms are abandoned. */
+constexpr std::uint64_t kDrainGraceMs = 30'000;
+
+std::string
+tenantKeyHex(const std::string& tenant)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << snap::fnv1a(tenant);
+    return os.str();
+}
+
+// --------------------------------------------------------- Connection
+
+/** One client socket. The loop thread owns fd/inbuf/outq; workers hand
+ *  frames over via the mutex-guarded staging buffer. */
+struct Connection
+{
+    int fd = -1;
+    std::vector<std::uint8_t> inbuf;
+    std::deque<std::vector<std::uint8_t>> outq; ///< wire bytes (len+payload)
+    std::size_t out_off = 0;
+    bool got_hello = false;
+    bool closing = false;   ///< flush outq, then close
+    bool paused_in = false; ///< inflight cap reached; POLLIN off
+
+    std::mutex mu;
+    std::vector<std::vector<std::uint8_t>> staged; ///< payloads from workers
+    bool dead = false; ///< socket closed; staging is a no-op
+
+    /** Total queued outgoing bytes (staged + outq), for throttling. */
+    std::atomic<std::size_t> out_bytes{0};
+    std::atomic<bool> close_after_flush{false};
+
+    std::shared_ptr<struct Tenant> tenant;
+
+    void stage(std::vector<std::uint8_t> payload)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (dead)
+            return;
+        out_bytes += payload.size() + 4;
+        staged.push_back(std::move(payload));
+    }
+};
+
+// ------------------------------------------------------------- Tenant
+
+/** One client session. Session state (stream/session/run flags) is
+ *  touched only inside the tenant's serialized task queue. */
+struct Tenant
+{
+    std::string id;
+    harness::ExperimentSpec spec;
+    std::uint64_t window_instrs = 0;
+
+    std::mutex mu; ///< guards tasks/task_active/pending
+    std::deque<std::function<void()>> tasks;
+    bool task_active = false;
+    std::vector<wl::TraceRecord> pending; ///< received, not yet spliced
+
+    // Worker-owned (serialized by the task queue).
+    StreamWorkload* stream = nullptr; ///< owned by session's System
+    std::optional<harness::SimSession> session;
+
+    std::atomic<bool> run_ended{false};
+    std::atomic<bool> evicted{false};
+    std::atomic<std::uint64_t> records_received{0};
+    std::atomic<std::uint64_t> records_consumed{0};
+    std::atomic<bool> pump_queued{false};
+    std::atomic<bool> throttled{false};
+
+    Clock::time_point last_activity; ///< loop-owned (idle eviction)
+};
+
+} // namespace
+
+// --------------------------------------------------------------- Impl
+
+struct ServeServer::Impl
+{
+    explicit Impl(ServeOptions o) : opt(std::move(o)) {}
+
+    ServeOptions opt;
+
+    int listen_fd = -1;
+    int wake_r = -1;
+    int wake_w = -1;
+    std::string bound_address;
+
+    std::thread loop_thread;
+    std::vector<std::thread> pool;
+    std::mutex pool_mu;
+    std::condition_variable pool_cv;
+    std::deque<std::function<void()>> pool_q;
+    bool pool_stop = false;
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> drain_requested{false};
+    std::atomic<bool> finished{false};
+    std::atomic<int> busy_tasks{0}; ///< tenant tasks queued or running
+    int exit_code = 0;
+
+    std::mutex tenants_mu;
+    std::map<std::string, std::shared_ptr<Tenant>> tenants;
+
+    std::vector<std::shared_ptr<Connection>> conns; ///< loop-owned
+
+    // Stats.
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> sessions_opened{0};
+    std::atomic<std::uint64_t> sessions_resumed{0};
+    std::atomic<std::uint64_t> sessions_evicted{0};
+    std::atomic<std::uint64_t> runs_completed{0};
+    std::atomic<std::uint64_t> windows_emitted{0};
+    std::atomic<std::uint64_t> records_received{0};
+    std::atomic<std::uint64_t> frames_rejected{0};
+
+    mutable std::mutex series_mu;
+    harness::TimeSeries aggregate_series;
+
+    // ----------------------------------------------------------- misc
+
+    void log(const std::string& msg)
+    {
+        if (opt.log)
+            *opt.log << "[pythia_serve] " << msg << '\n';
+    }
+
+    void wake()
+    {
+        const char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_w, &b, 1);
+    }
+
+    std::string statePath(const std::string& tenant,
+                          const char* suffix) const
+    {
+        return opt.state_dir + "/tenant-" + tenantKeyHex(tenant) + suffix;
+    }
+
+    bool hasEvictedState(const std::string& tenant) const
+    {
+        // The snapshot is written last: its presence marks the pair
+        // complete.
+        return fs::exists(statePath(tenant, ".snap"));
+    }
+
+    void removeStateFiles(const std::string& tenant)
+    {
+        std::error_code ec;
+        fs::remove(statePath(tenant, ".snap"), ec);
+        fs::remove(statePath(tenant, ".trace"), ec);
+    }
+
+    void removeTenant(const std::string& id)
+    {
+        std::lock_guard<std::mutex> lk(tenants_mu);
+        tenants.erase(id);
+    }
+
+    void recordWindow(const harness::WindowSample& w)
+    {
+        std::lock_guard<std::mutex> lk(series_mu);
+        if (aggregate_series.size() >= kAggregateSeriesCap) {
+            // Compact: keep the most recent half.
+            std::vector<harness::WindowSample> tail(
+                aggregate_series.samples().begin() +
+                    static_cast<std::ptrdiff_t>(kAggregateSeriesCap / 2),
+                aggregate_series.samples().end());
+            aggregate_series.clear();
+            for (auto& s : tail)
+                aggregate_series.append(std::move(s));
+        }
+        aggregate_series.append(w);
+    }
+
+    // ------------------------------------------------------ task pool
+
+    void postPool(std::function<void()> fn)
+    {
+        {
+            std::lock_guard<std::mutex> lk(pool_mu);
+            pool_q.push_back(std::move(fn));
+        }
+        pool_cv.notify_one();
+    }
+
+    void poolMain()
+    {
+        for (;;) {
+            std::function<void()> fn;
+            {
+                std::unique_lock<std::mutex> lk(pool_mu);
+                pool_cv.wait(lk,
+                             [&] { return pool_stop || !pool_q.empty(); });
+                if (pool_q.empty())
+                    return;
+                fn = std::move(pool_q.front());
+                pool_q.pop_front();
+            }
+            fn();
+        }
+    }
+
+    /** Enqueue @p fn on @p t's serialized task queue. */
+    void schedule(const std::shared_ptr<Tenant>& t,
+                  std::function<void()> fn)
+    {
+        ++busy_tasks;
+        bool start = false;
+        {
+            std::lock_guard<std::mutex> lk(t->mu);
+            t->tasks.push_back(std::move(fn));
+            if (!t->task_active) {
+                t->task_active = true;
+                start = true;
+            }
+        }
+        if (start)
+            postPool([this, t] { tenantTasksMain(t); });
+    }
+
+    void tenantTasksMain(const std::shared_ptr<Tenant>& t)
+    {
+        for (;;) {
+            std::function<void()> fn;
+            {
+                std::lock_guard<std::mutex> lk(t->mu);
+                if (t->tasks.empty()) {
+                    t->task_active = false;
+                    return;
+                }
+                fn = std::move(t->tasks.front());
+                t->tasks.pop_front();
+            }
+            fn();
+            --busy_tasks;
+            wake();
+        }
+    }
+
+    void schedulePump(const std::shared_ptr<Tenant>& t,
+                      const std::shared_ptr<Connection>& c)
+    {
+        if (t->pump_queued.exchange(true))
+            return;
+        schedule(t, [this, t, c] { pumpTask(t, c); });
+    }
+
+    // --------------------------------------------------- worker tasks
+
+    void failTenant(const std::shared_ptr<Tenant>& t,
+                    const std::shared_ptr<Connection>& c,
+                    std::uint32_t kind, const std::string& message)
+    {
+        ++frames_rejected;
+        t->evicted = true;
+        t->session.reset();
+        t->stream = nullptr;
+        removeTenant(t->id);
+        if (c) {
+            c->stage(encodeError(kind, message));
+            c->close_after_flush = true;
+        }
+        wake();
+        log("tenant '" + t->id + "' failed: " + message);
+    }
+
+    void openTask(const std::shared_ptr<Tenant>& t,
+                  const std::shared_ptr<Connection>& c)
+    {
+        try {
+            auto stream = std::make_unique<StreamWorkload>(
+                "serve:" + t->id);
+            bool resumed = false;
+            if (hasEvictedState(t->id)) {
+                const std::string trace_path =
+                    statePath(t->id, ".trace");
+                if (!fs::exists(trace_path))
+                    throw ServeError(
+                        "evicted state for tenant '" + t->id +
+                        "' is missing its trace file");
+                stream = std::make_unique<StreamWorkload>(
+                    "serve:" + t->id, wl::readTraceFile(trace_path));
+                resumed = true;
+            }
+            t->stream = stream.get();
+            std::vector<std::unique_ptr<wl::Workload>> workloads;
+            workloads.push_back(std::move(stream));
+            if (resumed) {
+                t->session.emplace(harness::SimSession::resumeFrom(
+                    t->spec, statePath(t->id, ".snap"),
+                    std::move(workloads)));
+                ++sessions_resumed;
+            } else {
+                t->session.emplace(t->spec, std::move(workloads));
+            }
+            ++sessions_opened;
+            // Restored history counts as already received; the client
+            // resumes streaming from this index.
+            t->records_received += t->stream->size();
+            t->records_consumed = t->stream->consumed();
+
+            HelloAckMsg ack;
+            ack.resumed = resumed;
+            ack.instrs_advanced = t->session->instrsAdvanced();
+            ack.windows_completed = t->session->windowsCompleted();
+            ack.records_received = t->stream->size();
+            ack.records_consumed = t->stream->consumed();
+            c->stage(encodeHelloAck(ack));
+            wake();
+            pumpTask(t, c); // records may already be pending
+        } catch (const snap::FingerprintError& e) {
+            failTenant(t, c, kErrResume, e.what());
+        } catch (const snap::SnapshotError& e) {
+            failTenant(t, c, kErrResume, e.what());
+        } catch (const std::invalid_argument& e) {
+            failTenant(t, c, kErrSpec, e.what());
+        } catch (const std::exception& e) {
+            failTenant(t, c, kErrInternal, e.what());
+        }
+    }
+
+    void splicePending(const std::shared_ptr<Tenant>& t)
+    {
+        std::vector<wl::TraceRecord> batch;
+        {
+            std::lock_guard<std::mutex> lk(t->mu);
+            batch.swap(t->pending);
+        }
+        if (!batch.empty() && t->stream)
+            t->stream->append(batch);
+    }
+
+    void pumpTask(const std::shared_ptr<Tenant>& t,
+                  const std::shared_ptr<Connection>& c)
+    {
+        t->pump_queued = false;
+        splicePending(t);
+        if (!t->session || t->run_ended || t->evicted)
+            return;
+        harness::SimSession& s = *t->session;
+        try {
+            while (!s.done()) {
+                const std::uint64_t step =
+                    std::min(t->window_instrs, s.instrsRemaining());
+                std::uint64_t need = step + kGateSlack;
+                if (!s.warmupDone())
+                    need += t->spec.warmup_instrs;
+                if (t->stream->available() < need)
+                    return; // starved: wait for more records
+                if (c && c->out_bytes.load() > opt.max_outbox_bytes) {
+                    // Slow client: stop simulating until its write
+                    // queue drains (the loop reschedules us).
+                    t->throttled = true;
+                    return;
+                }
+                s.advance(step);
+                t->records_consumed = t->stream->consumed();
+                WindowMsg wm;
+                wm.window = s.lastWindow();
+                wm.records_consumed = t->stream->consumed();
+                recordWindow(wm.window);
+                ++windows_emitted;
+                if (c) {
+                    c->stage(encodeWindow(wm));
+                    wake();
+                }
+            }
+            if (!t->run_ended.exchange(true)) {
+                ++runs_completed;
+                RunEndMsg rm;
+                rm.final_result = s.cumulative();
+                rm.windows_completed = s.windowsCompleted();
+                rm.records_consumed = t->stream->consumed();
+                removeStateFiles(t->id);
+                if (c) {
+                    c->stage(encodeRunEnd(rm));
+                    wake();
+                }
+            }
+        } catch (const std::exception& e) {
+            failTenant(t, c, kErrInternal, e.what());
+        }
+    }
+
+    /** Persist the tenant's session + history and drop it from the
+     *  live map. Idempotent; @p ack_conn gets a kDetachAck when set. */
+    void evictTask(const std::shared_ptr<Tenant>& t,
+                   const std::shared_ptr<Connection>& ack_conn)
+    {
+        splicePending(t);
+        if (t->run_ended || t->evicted || !t->session) {
+            removeTenant(t->id);
+            if (ack_conn) {
+                DetachAckMsg ack;
+                ack.records_received = t->records_received.load();
+                ack.instrs_advanced =
+                    t->session ? t->session->instrsAdvanced() : 0;
+                ack.windows_completed =
+                    t->session ? t->session->windowsCompleted() : 0;
+                ack_conn->stage(encodeDetachAck(ack));
+                wake();
+            }
+            return;
+        }
+        try {
+            fs::create_directories(opt.state_dir);
+            // Trace first, snapshot last: the snapshot's presence
+            // marks the pair complete (crash between the two leaves a
+            // harmless orphan trace).
+            if (!wl::writeTraceFile(statePath(t->id, ".trace"),
+                                    t->stream->records()))
+                throw ServeError("cannot write trace file for tenant '" +
+                                 t->id + "'");
+            t->session->snapshotTo(statePath(t->id, ".snap"));
+            t->evicted = true;
+            ++sessions_evicted;
+            DetachAckMsg ack;
+            ack.records_received = t->stream->size();
+            ack.instrs_advanced = t->session->instrsAdvanced();
+            ack.windows_completed = t->session->windowsCompleted();
+            t->session.reset();
+            t->stream = nullptr;
+            removeTenant(t->id);
+            log("evicted tenant '" + t->id + "' (" +
+                std::to_string(ack.instrs_advanced) + " instrs)");
+            if (ack_conn) {
+                ack_conn->stage(encodeDetachAck(ack));
+                wake();
+            }
+        } catch (const std::exception& e) {
+            failTenant(t, ack_conn, kErrInternal, e.what());
+        }
+    }
+
+    // ------------------------------------------------------ stats doc
+
+    std::string statsJsonDoc() const
+    {
+        std::size_t active = 0;
+        {
+            std::lock_guard<std::mutex> lk(
+                const_cast<std::mutex&>(tenants_mu));
+            active = tenants.size();
+        }
+        std::ostringstream os;
+        os << "{\n  \"schema\": \"pythia-serve-stats-v1\",\n"
+           << "  \"active_tenants\": " << active << ",\n"
+           << "  \"connections_accepted\": " << connections_accepted
+           << ",\n"
+           << "  \"sessions_opened\": " << sessions_opened << ",\n"
+           << "  \"sessions_resumed\": " << sessions_resumed << ",\n"
+           << "  \"sessions_evicted\": " << sessions_evicted << ",\n"
+           << "  \"runs_completed\": " << runs_completed << ",\n"
+           << "  \"windows_emitted\": " << windows_emitted << ",\n"
+           << "  \"records_received\": " << records_received << ",\n"
+           << "  \"frames_rejected\": " << frames_rejected << ",\n"
+           << "  \"timeseries\": ";
+        {
+            std::lock_guard<std::mutex> lk(series_mu);
+            aggregate_series.writeJson(os);
+        }
+        os << "\n}\n";
+        return os.str();
+    }
+
+    // ----------------------------------------------------- frame hand
+
+    void protocolError(const std::shared_ptr<Connection>& c,
+                       const std::string& message)
+    {
+        ++frames_rejected;
+        c->stage(encodeError(kErrProtocol, message));
+        c->close_after_flush = true;
+    }
+
+    void handleFrame(const std::shared_ptr<Connection>& c,
+                     const std::vector<std::uint8_t>& payload)
+    {
+        const FrameType type = frameType(payload);
+        switch (type) {
+        case FrameType::kHello: {
+            if (c->got_hello) {
+                protocolError(c, "second hello on one connection");
+                return;
+            }
+            const HelloMsg m = decodeHello(payload);
+            c->got_hello = true;
+            if (m.spec.num_cores != 1 || !m.spec.mix.empty()) {
+                ++frames_rejected;
+                c->stage(encodeError(
+                    kErrSpec,
+                    "serve tenants are single-core: one client is one "
+                    "access stream (num_cores=1, no mix)"));
+                c->close_after_flush = true;
+                return;
+            }
+            auto t = std::make_shared<Tenant>();
+            t->id = m.tenant;
+            t->spec = m.spec;
+            t->window_instrs = m.window_instrs;
+            t->last_activity = Clock::now();
+            {
+                std::lock_guard<std::mutex> lk(tenants_mu);
+                if (!tenants.emplace(t->id, t).second) {
+                    ++frames_rejected;
+                    c->stage(encodeError(
+                        kErrBusy, "tenant '" + t->id +
+                                      "' is already attached"));
+                    c->close_after_flush = true;
+                    return;
+                }
+            }
+            c->tenant = t;
+            schedule(t, [this, t, c] { openTask(t, c); });
+            return;
+        }
+        case FrameType::kAccess: {
+            auto t = c->tenant;
+            if (!t) {
+                protocolError(c, "access frame before hello");
+                return;
+            }
+            std::vector<wl::TraceRecord> records = decodeAccess(payload);
+            records_received += records.size();
+            t->records_received += records.size();
+            t->last_activity = Clock::now();
+            {
+                std::lock_guard<std::mutex> lk(t->mu);
+                t->pending.insert(t->pending.end(), records.begin(),
+                                  records.end());
+            }
+            schedulePump(t, c);
+            return;
+        }
+        case FrameType::kDetach: {
+            auto t = c->tenant;
+            if (!t) {
+                protocolError(c, "detach before hello");
+                return;
+            }
+            c->tenant.reset(); // further frames on this conn are errors
+            schedule(t, [this, t, c] { evictTask(t, c); });
+            return;
+        }
+        case FrameType::kStats:
+            c->stage(encodeStatsAck(statsJsonDoc()));
+            return;
+        default:
+            protocolError(c, "unexpected client frame type " +
+                                 std::to_string(payload[0]));
+            return;
+        }
+    }
+
+    // ------------------------------------------------------ socket ops
+
+    void bindAndListen()
+    {
+        if (!opt.unix_path.empty()) {
+            listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (listen_fd < 0)
+                throw ServeError(std::string("socket: ") +
+                                 std::strerror(errno));
+            sockaddr_un addr{};
+            addr.sun_family = AF_UNIX;
+            if (opt.unix_path.size() >= sizeof(addr.sun_path))
+                throw ServeError("unix socket path too long: " +
+                                 opt.unix_path);
+            std::strncpy(addr.sun_path, opt.unix_path.c_str(),
+                         sizeof(addr.sun_path) - 1);
+            ::unlink(opt.unix_path.c_str());
+            if (::bind(listen_fd,
+                       reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0)
+                throw ServeError("bind " + opt.unix_path + ": " +
+                                 std::strerror(errno));
+            bound_address = "unix:" + opt.unix_path;
+        } else {
+            listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (listen_fd < 0)
+                throw ServeError(std::string("socket: ") +
+                                 std::strerror(errno));
+            const int one = 1;
+            ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            addr.sin_port = htons(opt.tcp_port);
+            if (::bind(listen_fd,
+                       reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0)
+                throw ServeError(
+                    "bind 127.0.0.1:" + std::to_string(opt.tcp_port) +
+                    ": " + std::strerror(errno));
+            socklen_t len = sizeof(addr);
+            ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len);
+            bound_address = "tcp:127.0.0.1:" +
+                            std::to_string(ntohs(addr.sin_port));
+        }
+        setCloexec(listen_fd);
+        setNonBlocking(listen_fd);
+        if (::listen(listen_fd, 128) < 0)
+            throw ServeError(std::string("listen: ") +
+                             std::strerror(errno));
+    }
+
+    void acceptClients()
+    {
+        for (;;) {
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0)
+                return; // EAGAIN or transient error: poll again
+            setCloexec(fd);
+            setNonBlocking(fd);
+            auto c = std::make_shared<Connection>();
+            c->fd = fd;
+            conns.push_back(std::move(c));
+            ++connections_accepted;
+        }
+    }
+
+    /** Move worker-staged payloads into the socket write queue. */
+    void drainStaged(const std::shared_ptr<Connection>& c)
+    {
+        std::vector<std::vector<std::uint8_t>> staged;
+        bool close_req = false;
+        {
+            std::lock_guard<std::mutex> lk(c->mu);
+            staged.swap(c->staged);
+            close_req = c->close_after_flush.load();
+        }
+        for (auto& payload : staged) {
+            std::vector<std::uint8_t> wire(4 + payload.size());
+            const auto n = static_cast<std::uint32_t>(payload.size());
+            for (int i = 0; i < 4; ++i)
+                wire[static_cast<std::size_t>(i)] =
+                    static_cast<std::uint8_t>(n >> (8 * i));
+            std::copy(payload.begin(), payload.end(), wire.begin() + 4);
+            c->outq.push_back(std::move(wire));
+        }
+        if (close_req)
+            c->closing = true;
+    }
+
+    /** @return false when the connection died. */
+    bool flushOut(const std::shared_ptr<Connection>& c)
+    {
+        while (!c->outq.empty()) {
+            const std::vector<std::uint8_t>& front = c->outq.front();
+            const ssize_t n =
+                ::send(c->fd, front.data() + c->out_off,
+                       front.size() - c->out_off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    return true;
+                return false;
+            }
+            c->out_off += static_cast<std::size_t>(n);
+            if (c->out_off == front.size()) {
+                c->out_bytes -= front.size();
+                c->outq.pop_front();
+                c->out_off = 0;
+            }
+        }
+        return true;
+    }
+
+    /** @return false when the connection died (EOF or error). */
+    bool readIn(const std::shared_ptr<Connection>& c)
+    {
+        for (;;) {
+            std::uint8_t buf[65536];
+            const ssize_t n = ::recv(c->fd, buf, sizeof buf, 0);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    break;
+                return false;
+            }
+            if (n == 0)
+                return false; // EOF
+            c->inbuf.insert(c->inbuf.end(), buf, buf + n);
+            if (static_cast<std::size_t>(n) < sizeof buf)
+                break;
+        }
+        try {
+            while (auto frame = extractFrame(c->inbuf)) {
+                handleFrame(c, *frame);
+                if (c->closing || c->close_after_flush)
+                    break;
+            }
+        } catch (const ServeWireError& e) {
+            protocolError(c, e.what());
+        }
+        return true;
+    }
+
+    void disconnect(const std::shared_ptr<Connection>& c, bool draining)
+    {
+        {
+            std::lock_guard<std::mutex> lk(c->mu);
+            c->dead = true;
+            c->staged.clear();
+        }
+        ::close(c->fd);
+        c->fd = -1;
+        if (c->tenant) {
+            auto t = c->tenant;
+            c->tenant.reset();
+            if (!draining && !t->run_ended && !t->evicted)
+                schedule(t, [this, t] {
+                    evictTask(t, nullptr);
+                });
+            else if (t->run_ended)
+                // Completed runs have no state to evict; drop the
+                // tenant so the id can be reopened fresh.
+                removeTenant(t->id);
+        }
+    }
+
+    // ------------------------------------------------------- main loop
+
+    void loopMain()
+    {
+        bool draining = false;
+        Clock::time_point drain_deadline{};
+        std::vector<pollfd> pfds;
+        std::vector<std::shared_ptr<Connection>> pfd_conn;
+
+        while (true) {
+            // Worker output → socket queues; backpressure bookkeeping.
+            for (auto& c : conns) {
+                drainStaged(c);
+                if (c->paused_in && c->tenant) {
+                    const std::uint64_t inflight =
+                        c->tenant->records_received.load() -
+                        c->tenant->records_consumed.load();
+                    if (inflight <= opt.max_inflight_records / 2)
+                        c->paused_in = false;
+                }
+                if (c->tenant && c->tenant->throttled.load() &&
+                    c->out_bytes.load() < opt.max_outbox_bytes / 2) {
+                    if (c->tenant->throttled.exchange(false))
+                        schedulePump(c->tenant, c);
+                }
+            }
+
+            if (drain_requested.load() && !draining) {
+                draining = true;
+                drain_deadline =
+                    Clock::now() +
+                    std::chrono::milliseconds(kDrainGraceMs);
+                if (listen_fd >= 0) {
+                    ::close(listen_fd);
+                    listen_fd = -1;
+                }
+                std::vector<std::shared_ptr<Tenant>> live;
+                {
+                    std::lock_guard<std::mutex> lk(tenants_mu);
+                    for (auto& [id, t] : tenants)
+                        live.push_back(t);
+                }
+                for (auto& t : live)
+                    schedule(t, [this, t] { evictTask(t, nullptr); });
+                log("draining: evicting " +
+                    std::to_string(live.size()) + " live sessions");
+            }
+
+            if (draining) {
+                bool flushed = true;
+                for (auto& c : conns) {
+                    std::lock_guard<std::mutex> lk(c->mu);
+                    if (!c->outq.empty() || !c->staged.empty())
+                        flushed = false;
+                }
+                if ((busy_tasks.load() == 0 && flushed) ||
+                    Clock::now() >= drain_deadline) {
+                    for (auto& c : conns)
+                        disconnect(c, true);
+                    conns.clear();
+                    break;
+                }
+            }
+
+            // Idle eviction.
+            if (!draining && opt.idle_evict_ms > 0) {
+                const auto now = Clock::now();
+                for (auto& c : conns) {
+                    auto t = c->tenant;
+                    if (!t || t->run_ended || t->evicted)
+                        continue;
+                    const auto idle =
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(
+                            now - t->last_activity)
+                            .count();
+                    if (idle >= 0 &&
+                        static_cast<std::uint64_t>(idle) >=
+                            opt.idle_evict_ms) {
+                        log("idle-evicting tenant '" + t->id + "'");
+                        c->closing = true;
+                        c->tenant.reset();
+                        schedule(t, [this, t] {
+                            evictTask(t, nullptr);
+                        });
+                    }
+                }
+            }
+
+            // Build the poll set.
+            pfds.clear();
+            pfd_conn.clear();
+            pfds.push_back({wake_r, POLLIN, 0});
+            pfd_conn.push_back(nullptr);
+            if (listen_fd >= 0 && !draining) {
+                pfds.push_back({listen_fd, POLLIN, 0});
+                pfd_conn.push_back(nullptr);
+            }
+            for (auto& c : conns) {
+                short events = 0;
+                if (!c->closing && !c->paused_in)
+                    events |= POLLIN;
+                if (!c->outq.empty())
+                    events |= POLLOUT;
+                pfds.push_back({c->fd, events, 0});
+                pfd_conn.push_back(c);
+            }
+
+            int timeout_ms = 1000;
+            if (draining)
+                timeout_ms = 10;
+            else if (opt.idle_evict_ms > 0)
+                timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+                    opt.idle_evict_ms / 2 + 1, 1000));
+            const int rc = ::poll(pfds.data(), pfds.size(),
+                                  timeout_ms);
+            if (rc < 0 && errno != EINTR) {
+                log(std::string("poll: ") + std::strerror(errno));
+                exit_code = 1;
+                break;
+            }
+
+            // Drain the wake pipe.
+            if (pfds[0].revents & POLLIN) {
+                std::uint8_t b[256];
+                while (::read(wake_r, b, sizeof b) > 0) {
+                }
+            }
+
+            std::size_t idx = 1;
+            if (listen_fd >= 0 && !draining) {
+                if (pfds[idx].revents & POLLIN)
+                    acceptClients();
+                ++idx;
+            }
+
+            std::vector<std::shared_ptr<Connection>> dead;
+            for (; idx < pfds.size(); ++idx) {
+                auto& c = pfd_conn[idx];
+                if (!c || c->fd < 0)
+                    continue;
+                const short rev = pfds[idx].revents;
+                bool alive = true;
+                if (rev & (POLLERR | POLLNVAL))
+                    alive = false;
+                if (alive && (rev & POLLOUT))
+                    alive = flushOut(c);
+                if (alive && (rev & (POLLIN | POLLHUP)))
+                    alive = readIn(c);
+                if (alive) {
+                    drainStaged(c);
+                    if (!flushOut(c))
+                        alive = false;
+                }
+                if (alive && c->closing && c->outq.empty()) {
+                    bool staged_empty;
+                    {
+                        std::lock_guard<std::mutex> lk(c->mu);
+                        staged_empty = c->staged.empty();
+                    }
+                    if (staged_empty)
+                        alive = false;
+                }
+                if (alive && c->tenant) {
+                    const std::uint64_t inflight =
+                        c->tenant->records_received.load() -
+                        c->tenant->records_consumed.load();
+                    if (inflight > opt.max_inflight_records)
+                        c->paused_in = true;
+                }
+                if (!alive)
+                    dead.push_back(c);
+            }
+            for (auto& c : dead) {
+                disconnect(c, draining);
+                conns.erase(std::remove(conns.begin(), conns.end(), c),
+                            conns.end());
+            }
+        }
+
+        // Shut the pool down (drain eviction tasks already ran:
+        // busy_tasks was 0 before the loop broke, except on grace
+        // timeout — remaining tasks still run to completion here).
+        {
+            std::lock_guard<std::mutex> lk(pool_mu);
+            pool_stop = true;
+        }
+        pool_cv.notify_all();
+        for (auto& th : pool)
+            th.join();
+        pool.clear();
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+        }
+        if (!opt.unix_path.empty())
+            ::unlink(opt.unix_path.c_str());
+        finished = true;
+        log("drained; exiting " + std::to_string(exit_code));
+    }
+};
+
+// --------------------------------------------------------- ServeServer
+
+ServeServer::ServeServer(ServeOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(opt)))
+{
+}
+
+ServeServer::~ServeServer()
+{
+    if (impl_ && impl_->started.load() && !impl_->finished.load())
+        stop();
+    else if (impl_ && impl_->loop_thread.joinable())
+        impl_->loop_thread.join();
+}
+
+void
+ServeServer::start()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    if (impl_->started.exchange(true))
+        throw ServeError("ServeServer::start() called twice");
+    fs::create_directories(impl_->opt.state_dir);
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        throw ServeError(std::string("pipe: ") + std::strerror(errno));
+    impl_->wake_r = pipefd[0];
+    impl_->wake_w = pipefd[1];
+    setNonBlocking(impl_->wake_r);
+    setNonBlocking(impl_->wake_w);
+    setCloexec(impl_->wake_r);
+    setCloexec(impl_->wake_w);
+    impl_->bindAndListen();
+    const unsigned workers = std::max(1u, impl_->opt.workers);
+    for (unsigned i = 0; i < workers; ++i)
+        impl_->pool.emplace_back([impl = impl_.get()] {
+            impl->poolMain();
+        });
+    impl_->loop_thread = std::thread([impl = impl_.get()] {
+        impl->loopMain();
+    });
+    impl_->log("listening on " + impl_->bound_address);
+}
+
+std::string
+ServeServer::boundAddress() const
+{
+    return impl_->bound_address;
+}
+
+void
+ServeServer::requestDrain()
+{
+    impl_->drain_requested.store(true);
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(impl_->wake_w, &b, 1);
+}
+
+int
+ServeServer::join()
+{
+    if (impl_->loop_thread.joinable())
+        impl_->loop_thread.join();
+    return impl_->exit_code;
+}
+
+int
+ServeServer::stop()
+{
+    requestDrain();
+    return join();
+}
+
+bool
+ServeServer::running() const
+{
+    return impl_->started.load() && !impl_->finished.load();
+}
+
+ServeServer::Stats
+ServeServer::stats() const
+{
+    Stats s;
+    s.connections_accepted = impl_->connections_accepted.load();
+    s.sessions_opened = impl_->sessions_opened.load();
+    s.sessions_resumed = impl_->sessions_resumed.load();
+    s.sessions_evicted = impl_->sessions_evicted.load();
+    s.runs_completed = impl_->runs_completed.load();
+    s.windows_emitted = impl_->windows_emitted.load();
+    s.records_received = impl_->records_received.load();
+    s.frames_rejected = impl_->frames_rejected.load();
+    {
+        std::lock_guard<std::mutex> lk(impl_->tenants_mu);
+        s.active_tenants = impl_->tenants.size();
+    }
+    return s;
+}
+
+std::string
+ServeServer::statsJson() const
+{
+    return impl_->statsJsonDoc();
+}
+
+} // namespace pythia::service

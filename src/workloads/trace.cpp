@@ -62,9 +62,29 @@ writeTraceFile(const std::string& path, Workload& w, std::size_t n)
     return static_cast<bool>(out);
 }
 
-FileWorkload::FileWorkload(const std::string& path,
-                           std::string display_name)
-    : name_(display_name.empty() ? path : std::move(display_name))
+bool
+writeTraceFile(const std::string& path,
+               const std::vector<TraceRecord>& records)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    const std::uint32_t magic = kTraceMagic;
+    const std::uint64_t count = records.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const TraceRecord& r : records) {
+        const DiskRecord d{r.pc, r.addr, r.gap,
+                           static_cast<std::uint16_t>(r.is_write ? 1 : 0),
+                           static_cast<std::uint16_t>(
+                               r.depends_on_prev ? 1 : 0)};
+        out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    return static_cast<bool>(out);
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string& path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -75,8 +95,8 @@ FileWorkload::FileWorkload(const std::string& path,
     in.read(reinterpret_cast<char*>(&count), sizeof(count));
     if (!in || magic != kTraceMagic)
         throw std::runtime_error("bad trace file header: " + path);
-    records_.resize(count);
-    for (auto& r : records_) {
+    std::vector<TraceRecord> records(count);
+    for (auto& r : records) {
         DiskRecord d{};
         in.read(reinterpret_cast<char*>(&d), sizeof(d));
         if (!in)
@@ -84,6 +104,14 @@ FileWorkload::FileWorkload(const std::string& path,
         r = TraceRecord{d.pc, d.addr, d.gap, d.is_write != 0,
                         d.depends_on_prev != 0};
     }
+    return records;
+}
+
+FileWorkload::FileWorkload(const std::string& path,
+                           std::string display_name)
+    : name_(display_name.empty() ? path : std::move(display_name)),
+      records_(readTraceFile(path))
+{
     if (records_.empty())
         throw std::runtime_error("empty trace file: " + path);
 }

@@ -74,6 +74,22 @@ class Workload
 bool writeTraceFile(const std::string& path, Workload& w, std::size_t n);
 
 /**
+ * Write an explicit record vector to a binary trace file (same format;
+ * the service layer persists a tenant's streamed history this way on
+ * eviction). @return false on I/O failure.
+ */
+bool writeTraceFile(const std::string& path,
+                    const std::vector<TraceRecord>& records);
+
+/**
+ * Load a binary trace file as a record vector (an empty file — count
+ * zero — is valid here, unlike FileWorkload which needs at least one
+ * record to loop over). @throws std::runtime_error when unreadable,
+ * truncated or not a trace file.
+ */
+std::vector<TraceRecord> readTraceFile(const std::string& path);
+
+/**
  * A Workload that replays a binary trace file from memory, looping when it
  * reaches the end (ChampSim replays a trace until the simulation budget is
  * exhausted, §5 of the paper).
@@ -97,6 +113,9 @@ class FileWorkload : public Workload
 
     /** Number of records before the stream loops. */
     std::size_t size() const { return records_.size(); }
+
+    /** The loaded records (service eviction persists these). */
+    const std::vector<TraceRecord>& records() const { return records_; }
 
   private:
     std::string name_;

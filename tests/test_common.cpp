@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "../bench/bench_common.hpp"
 #include "common/config.hpp"
 #include "common/hashing.hpp"
 #include "common/rng.hpp"
@@ -331,6 +332,44 @@ TEST(Config, ParseArgs)
     EXPECT_EQ(c.getInt("mtps"), 600);
     ASSERT_EQ(ignored.size(), 1u);
     EXPECT_EQ(ignored[0], "--junk");
+}
+
+// ----------------------------------------------------------------- bench args
+
+// parseBenchArgs terminates the bench with status 2 on contradictory
+// knob combinations, so these run as death tests.
+bench::BenchOptions
+parseBench(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "bench");
+    std::vector<char*> argv;
+    for (auto& a : args)
+        argv.push_back(a.data());
+    return bench::parseBenchArgs(static_cast<int>(argv.size()),
+                                 argv.data());
+}
+
+TEST(BenchArgs, WorkersWithThreadPoolJobsRejected)
+{
+    EXPECT_EXIT(parseBench({"workers=4", "jobs=8"}),
+                ::testing::ExitedWithCode(2), "mutually exclusive");
+}
+
+TEST(BenchArgs, JournalWithoutWorkersRejected)
+{
+    EXPECT_EXIT(parseBench({"journal=sweep.journal"}),
+                ::testing::ExitedWithCode(2), "requires workers=");
+}
+
+TEST(BenchArgs, WorkersAloneAndWithExplicitSingleJobAccepted)
+{
+    const bench::BenchOptions a = parseBench({"workers=4"});
+    EXPECT_EQ(a.workers, 4u);
+    EXPECT_EQ(a.jobs, 0u);
+    // jobs=1 is not contradictory: one in-process runner per worker.
+    const bench::BenchOptions b = parseBench({"workers=2", "jobs=1"});
+    EXPECT_EQ(b.workers, 2u);
+    EXPECT_EQ(b.jobs, 1u);
 }
 
 } // namespace

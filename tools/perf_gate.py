@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf regression gate over pythia-perf-v1 artifacts (DESIGN.md §7/§10).
 
-Usage: perf_gate.py <baseline.json> <current.json>
+Usage: perf_gate.py [--json] <baseline.json> <current.json>
 
 Two checks, both governed by PERF_GATE_THRESHOLD (default 0.30):
 
@@ -19,6 +19,12 @@ artifact but absent from the committed baseline fails with an explicit
 "baseline is stale, refresh it" message (never a KeyError); a component
 that disappeared from the current artifact fails too, because a renamed
 or dropped kernel would otherwise silently leave the gate.
+
+Success output names the committed baseline artifact and echoes every
+component's baseline/current ns_per_op, so a green CI log still shows
+exactly which numbers the gate compared. --json replaces the human
+lines on stdout with one machine-readable summary object (schema
+"pythia-perf-gate-v1"); failure diagnostics stay on stderr either way.
 
 The committed baseline was measured on a developer machine; CI runners
 differ, so the threshold is deliberately loose — it exists to catch
@@ -74,15 +80,24 @@ def components(doc, path):
 
 
 def main(argv):
-    if len(argv) != 3:
-        sys.exit(f"usage: {argv[0]} <baseline.json> <current.json>")
+    args = list(argv[1:])
+    emit_json = "--json" in args
+    if emit_json:
+        args.remove("--json")
+    if len(args) != 2:
+        sys.exit(f"usage: {argv[0]} [--json] <baseline.json> "
+                 f"<current.json>")
     threshold = float(os.environ.get("PERF_GATE_THRESHOLD", "0.30"))
     if not 0.0 <= threshold <= 1.0:
         sys.exit(f"perf_gate: PERF_GATE_THRESHOLD {threshold} outside "
                  "[0, 1]")
-    base_path, cur_path = argv[1], argv[2]
+    base_path, cur_path = args
     base_doc = load_doc(base_path)
     cur_doc = load_doc(cur_path)
+
+    def say(line):
+        if not emit_json:
+            print(line)
 
     failures = []
 
@@ -91,9 +106,10 @@ def main(argv):
     current = sims_per_sec(cur_doc, cur_path)
     floor = baseline * (1.0 - threshold)
     ratio = current / baseline
-    print(f"perf_gate: baseline {baseline:.2f} sims/s, "
-          f"current {current:.2f} sims/s ({ratio:.2f}x), "
-          f"floor {floor:.2f} (threshold {threshold:.0%})")
+    say(f"perf_gate: baseline artifact {base_path}")
+    say(f"perf_gate: baseline {baseline:.2f} sims/s, "
+        f"current {current:.2f} sims/s ({ratio:.2f}x), "
+        f"floor {floor:.2f} (threshold {threshold:.0%})")
     if current < floor:
         failures.append(
             f"total.sims_per_sec regressed: {current:.2f} < floor "
@@ -116,25 +132,52 @@ def main(argv):
             f"dropped kernel would silently leave the gate; update the "
             f"baseline deliberately")
 
+    comp_report = {}
     for name in sorted(base_comp.keys() & cur_comp.keys()):
         base_ns = base_comp[name]
         cur_ns = cur_comp[name]
         ceiling = base_ns * (1.0 + threshold)
-        status = "ok"
-        if cur_ns > ceiling:
-            status = "REGRESSION"
+        ok = cur_ns <= ceiling
+        if not ok:
             failures.append(
                 f"component {name!r} regressed: {cur_ns:.1f} ns/op > "
                 f"ceiling {ceiling:.1f} (baseline {base_ns:.1f})")
-        print(f"perf_gate:   {name}: baseline {base_ns:.1f} ns/op, "
-              f"current {cur_ns:.1f} ns/op, ceiling {ceiling:.1f} "
-              f"— {status}")
+        comp_report[name] = {
+            "baseline_ns_per_op": base_ns,
+            "current_ns_per_op": cur_ns,
+            "ceiling_ns_per_op": ceiling,
+            "pass": ok,
+        }
+        say(f"perf_gate:   {name}: baseline {base_ns:.1f} ns/op, "
+            f"current {cur_ns:.1f} ns/op, ceiling {ceiling:.1f} "
+            f"— {'ok' if ok else 'REGRESSION'}")
+
+    if emit_json:
+        json.dump(
+            {
+                "schema": "pythia-perf-gate-v1",
+                "baseline": base_path,
+                "current": cur_path,
+                "threshold": threshold,
+                "total": {
+                    "baseline_sims_per_sec": baseline,
+                    "current_sims_per_sec": current,
+                    "ratio": ratio,
+                    "floor_sims_per_sec": floor,
+                    "pass": current >= floor,
+                },
+                "components": comp_report,
+                "failures": failures,
+                "pass": not failures,
+            },
+            sys.stdout, indent=2)
+        print()
 
     if failures:
         for f in failures:
             print(f"perf_gate: FAIL: {f}", file=sys.stderr)
         sys.exit(1)
-    print("perf_gate: ok")
+    say(f"perf_gate: ok ({len(comp_report)} components vs {base_path})")
 
 
 if __name__ == "__main__":

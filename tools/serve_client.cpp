@@ -1,0 +1,290 @@
+/**
+ * @file
+ * serve_client — synthetic load generator for pythia_serve
+ * (DESIGN.md §12).
+ *
+ * Replays registry workloads from N concurrent synthetic clients: each
+ * replay opens a fresh tenant, captures the workload generator's
+ * record stream (exactly what the offline SimSession would consume)
+ * and streams it through the daemon, collecting windowed metrics until
+ * run end. Emits a latency-percentile pythia-perf-v1 artifact
+ * (BENCH_service.json): p50/p95/p99 per-replay latency, window
+ * inter-arrival percentiles, and aggregate streams/sec.
+ *
+ * Usage:
+ *   serve_client server=tcp:127.0.0.1:7421 [clients=8] [replays=64]
+ *                [workloads=470.lbm-164B,602.gcc-s] [prefetcher=pythia]
+ *                [warmup=2000] [sim_instrs=6000] [window=2000]
+ *                [perf_out=BENCH_service.json] [series_dir=]
+ *                [reference_dir=] [stats=0] [quiet=0]
+ *
+ * series_dir= writes each distinct spec's streamed windowed metrics as
+ * CSV; reference_dir= writes the offline SimSession reference for the
+ * same specs. CI byte-diffs the two directories — the serving
+ * determinism rule, enforced end-to-end over real sockets.
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "harness/perf.hpp"
+#include "harness/runner.hpp"
+#include "harness/session.hpp"
+#include "harness/timeseries.hpp"
+#include "service/client.hpp"
+#include "service/wire.hpp"
+#include "workloads/suites.hpp"
+
+using namespace pythia;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct SpecCase
+{
+    harness::ExperimentSpec spec;
+    std::vector<wl::TraceRecord> records; ///< exactly what offline runs
+};
+
+std::vector<std::string>
+splitList(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item =
+            csv.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Config cli;
+    try {
+        cli.parseArgsStrict(argc, argv,
+                            {"server", "clients", "replays", "workloads",
+                             "prefetcher", "warmup", "sim_instrs",
+                             "window", "perf_out", "series_dir",
+                             "reference_dir", "stats", "quiet"});
+    } catch (const std::exception& e) {
+        std::cerr << "serve_client: " << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        const std::string server = cli.getString("server");
+        if (server.empty()) {
+            std::cerr << "serve_client: server=<address> is required "
+                         "(the address pythia_serve printed)\n";
+            return 2;
+        }
+        const auto clients =
+            static_cast<unsigned>(cli.getInt("clients", 8));
+        const auto replays =
+            static_cast<std::size_t>(cli.getInt("replays", 64));
+        const std::string prefetcher =
+            cli.getString("prefetcher", "pythia");
+        const auto warmup =
+            static_cast<std::uint64_t>(cli.getInt("warmup", 2000));
+        const auto sim_instrs =
+            static_cast<std::uint64_t>(cli.getInt("sim_instrs", 6000));
+        const auto window =
+            static_cast<std::uint64_t>(cli.getInt("window", 2000));
+        const std::string perf_out =
+            cli.getString("perf_out", "BENCH_service.json");
+        const std::string series_dir = cli.getString("series_dir");
+        const std::string reference_dir =
+            cli.getString("reference_dir");
+        const bool print_stats = cli.getBool("stats", false);
+        const bool quiet = cli.getBool("quiet", false);
+
+        std::vector<std::string> names =
+            splitList(cli.getString("workloads"));
+        if (names.empty())
+            names = {"470.lbm-164B", "602.gcc_s-734B", "Ligra-PageRank",
+                     "Cloudsuite-Cassandra"};
+
+        // Capture each spec's record stream once, shared read-only by
+        // every replay thread — identical by construction to what the
+        // offline SimSession consumes (workloadsFor derives the same
+        // seeded generator).
+        std::vector<SpecCase> cases;
+        for (const std::string& name : names) {
+            SpecCase c;
+            c.spec.workload = name;
+            c.spec.prefetcher = prefetcher;
+            c.spec.warmup_instrs = warmup;
+            c.spec.sim_instrs = sim_instrs;
+            auto workloads = harness::workloadsFor(c.spec);
+            const std::uint64_t budget =
+                service::recordBudgetFor(c.spec);
+            c.records.reserve(budget);
+            for (std::uint64_t i = 0; i < budget; ++i)
+                c.records.push_back(workloads[0]->next());
+            cases.push_back(std::move(c));
+        }
+
+        if (!reference_dir.empty()) {
+            fs::create_directories(reference_dir);
+            for (std::size_t i = 0; i < cases.size(); ++i) {
+                harness::TimeSeries series;
+                harness::SimSession session(cases[i].spec);
+                session.addObserver(&series);
+                while (!session.done())
+                    session.advance(window);
+                series.writeCsv(reference_dir + "/spec" +
+                                std::to_string(i) + ".csv");
+            }
+        }
+        if (!series_dir.empty())
+            fs::create_directories(series_dir);
+
+        std::atomic<std::size_t> next_replay{0};
+        std::atomic<std::size_t> failures{0};
+        std::atomic<std::uint64_t> records_streamed{0};
+        std::atomic<std::uint64_t> windows_received{0};
+        std::mutex agg_mu;
+        std::vector<double> replay_latency_s;
+        std::vector<double> window_gap_s;
+
+        const auto t0 = Clock::now();
+        std::vector<std::thread> threads;
+        for (unsigned c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                for (;;) {
+                    const std::size_t r = next_replay.fetch_add(1);
+                    if (r >= replays)
+                        return;
+                    const std::size_t s = r % cases.size();
+                    const SpecCase& sc = cases[s];
+                    try {
+                        const auto start = Clock::now();
+                        service::ServeClient client(server);
+                        client.open("load-" + std::to_string(c) + "-" +
+                                        std::to_string(r),
+                                    sc.spec, window);
+                        auto progress = client.streamRun(sc.records);
+                        const double secs =
+                            std::chrono::duration<double>(Clock::now() -
+                                                          start)
+                                .count();
+                        records_streamed += progress.records_streamed;
+                        windows_received += progress.series.size();
+                        {
+                            std::lock_guard<std::mutex> lk(agg_mu);
+                            replay_latency_s.push_back(secs);
+                            window_gap_s.insert(
+                                window_gap_s.end(),
+                                progress.window_gaps_s.begin(),
+                                progress.window_gaps_s.end());
+                        }
+                        // All replays of one spec are bit-identical
+                        // (serving determinism), so the overwrite race
+                        // between threads is benign.
+                        if (!series_dir.empty())
+                            progress.series.writeCsv(
+                                series_dir + "/spec" +
+                                std::to_string(s) + ".csv");
+                    } catch (const std::exception& e) {
+                        ++failures;
+                        std::lock_guard<std::mutex> lk(agg_mu);
+                        std::cerr << "serve_client: replay " << r
+                                  << " failed: " << e.what() << "\n";
+                    }
+                }
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+
+        if (print_stats) {
+            service::ServeClient client(server);
+            std::cout << client.stats() << "\n";
+        }
+
+        const double streams_per_sec =
+            wall > 0 ? static_cast<double>(replays - failures) / wall
+                     : 0.0;
+        if (!quiet) {
+            std::printf("serve_client: %zu replays (%zu failed), %u "
+                        "clients, %.2fs wall, %.2f streams/sec\n",
+                        replays, failures.load(), clients, wall,
+                        streams_per_sec);
+            std::printf("  replay latency p50=%.4fs p95=%.4fs "
+                        "p99=%.4fs\n",
+                        harness::percentile(replay_latency_s, 50),
+                        harness::percentile(replay_latency_s, 95),
+                        harness::percentile(replay_latency_s, 99));
+        }
+
+        if (!perf_out.empty()) {
+            // pythia-perf-v1 with a "service" extension block:
+            // consumers ignore unknown keys (DESIGN.md §7).
+            std::ostringstream os;
+            os.setf(std::ios::fmtflags(0), std::ios::floatfield);
+            os.precision(9);
+            os << "{\n  \"schema\": \"pythia-perf-v1\",\n"
+               << "  \"bench\": \"serve_client\",\n"
+               << "  \"jobs\": " << clients << ",\n"
+               << "  \"sweeps\": [],\n"
+               << "  \"total\": {\"experiments\": "
+               << (replays - failures) << ", \"seconds\": " << wall
+               << ", \"sims_per_sec\": " << streams_per_sec << "},\n"
+               << "  \"service\": {\n"
+               << "    \"clients\": " << clients << ",\n"
+               << "    \"replays\": " << replays << ",\n"
+               << "    \"failures\": " << failures << ",\n"
+               << "    \"streams_per_sec\": " << streams_per_sec
+               << ",\n"
+               << "    \"records_streamed\": " << records_streamed
+               << ",\n"
+               << "    \"windows\": " << windows_received << ",\n"
+               << "    \"latency_s\": {\"p50\": "
+               << harness::percentile(replay_latency_s, 50)
+               << ", \"p95\": "
+               << harness::percentile(replay_latency_s, 95)
+               << ", \"p99\": "
+               << harness::percentile(replay_latency_s, 99) << "},\n"
+               << "    \"window_latency_s\": {\"p50\": "
+               << harness::percentile(window_gap_s, 50)
+               << ", \"p95\": " << harness::percentile(window_gap_s, 95)
+               << ", \"p99\": " << harness::percentile(window_gap_s, 99)
+               << "}\n  }\n}\n";
+            std::ofstream out(perf_out);
+            out << os.str();
+            if (!out) {
+                std::cerr << "serve_client: cannot write " << perf_out
+                          << "\n";
+                return 1;
+            }
+        }
+        return failures.load() == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "serve_client: " << e.what() << "\n";
+        return 1;
+    }
+}
