@@ -8,16 +8,22 @@
 namespace pythia::harness {
 
 double
-percentile(std::vector<double> samples, double p)
+percentileSorted(const std::vector<double>& sorted, double p)
 {
-    if (samples.empty())
+    if (sorted.empty())
         return 0.0;
-    std::sort(samples.begin(), samples.end());
     p = std::min(100.0, std::max(0.0, p));
     // Nearest-rank: smallest index whose rank covers p percent.
     const std::size_t rank = static_cast<std::size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
-    return samples[rank == 0 ? 0 : rank - 1];
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    return percentileSorted(samples, p);
 }
 
 void

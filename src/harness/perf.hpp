@@ -56,6 +56,14 @@ namespace pythia::harness {
  */
 double percentile(std::vector<double> samples, double p);
 
+/**
+ * Nearest-rank percentile over an ALREADY ASCENDING-SORTED @p sorted
+ * (0 when empty) — the allocation-free core percentile() wraps.
+ * Callers extracting several percentiles from one sample set (e.g.
+ * serve_client's p50/p95/p99 latency block) sort once and call this.
+ */
+double percentileSorted(const std::vector<double>& sorted, double p);
+
 /** Accumulated perf accounting of one bench process (all its sweeps). */
 class PerfReport
 {

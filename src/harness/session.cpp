@@ -292,18 +292,31 @@ void
 SimSession::snapshotTo(const std::string& path) const
 {
     snap::writeSnapshotFile(
-        path, fingerprintFor(spec_), [this](snap::Writer& w) {
-            w.beginSection("session");
-            w.boolean(warmup_done_);
-            w.boolean(run_ended_);
-            w.u64(advanced_);
-            w.u64(windows_completed_);
-            w.boolean(has_window_);
-            writeRunResult(w, cumulative_);
-            writeWindowSample(w, last_);
-            w.endSection();
-            system_->saveState(w);
-        });
+        path, fingerprintFor(spec_),
+        [this](snap::Writer& w) { writeSessionBody(w); });
+}
+
+std::vector<std::uint8_t>
+SimSession::snapshotBytes() const
+{
+    return snap::writeSnapshotBytes(
+        fingerprintFor(spec_),
+        [this](snap::Writer& w) { writeSessionBody(w); });
+}
+
+void
+SimSession::writeSessionBody(snap::Writer& w) const
+{
+    w.beginSection("session");
+    w.boolean(warmup_done_);
+    w.boolean(run_ended_);
+    w.u64(advanced_);
+    w.u64(windows_completed_);
+    w.boolean(has_window_);
+    writeRunResult(w, cumulative_);
+    writeWindowSample(w, last_);
+    w.endSection();
+    system_->saveState(w);
 }
 
 SimSession
@@ -320,6 +333,28 @@ SimSession::resumeFrom(ExperimentSpec spec, const std::string& path,
     SimSession session(std::move(spec), std::move(workloads));
     const snap::SnapshotFile file =
         snap::readSnapshotFile(path, fingerprintFor(session.spec_));
+    session.restoreSessionBody(file);
+    return session;
+}
+
+SimSession
+SimSession::resumeFromBytes(ExperimentSpec spec,
+                            std::vector<std::uint8_t> bytes,
+                            std::vector<std::unique_ptr<wl::Workload>>
+                                workloads,
+                            const std::string& label)
+{
+    SimSession session(std::move(spec), std::move(workloads));
+    const snap::SnapshotFile file = snap::readSnapshotBytes(
+        std::move(bytes), fingerprintFor(session.spec_), label);
+    session.restoreSessionBody(file);
+    return session;
+}
+
+void
+SimSession::restoreSessionBody(const snap::SnapshotFile& file)
+{
+    SimSession& session = *this;
     snap::Reader r = file.body();
     r.enterSection("session");
     session.warmup_done_ = r.boolean();
@@ -335,7 +370,6 @@ SimSession::resumeFrom(ExperimentSpec spec, const std::string& path,
         throw snap::CorruptError(
             "snapshot corrupt: " + std::to_string(r.remaining()) +
             " unconsumed bytes after machine state");
-    return session;
 }
 
 void

@@ -49,6 +49,10 @@
 #include "sim/system.hpp"
 #include "snapshot/codec.hpp"
 
+namespace pythia::snap {
+struct SnapshotFile;
+}
+
 namespace pythia::harness {
 
 class SimSession;
@@ -184,6 +188,11 @@ class SimSession
      */
     void snapshotTo(const std::string& path) const;
 
+    /** The same pythia-snap-v1 image snapshotTo() writes, returned as
+     *  bytes instead of a file — the unit the service layer's shared
+     *  warm-snapshot pool stores and restores from. */
+    std::vector<std::uint8_t> snapshotBytes() const;
+
     /**
      * Open a session for @p spec and restore the state saved by
      * snapshotTo(). The snapshot's fingerprint must match
@@ -203,6 +212,15 @@ class SimSession
     static SimSession
     resumeFrom(ExperimentSpec spec, const std::string& path,
                std::vector<std::unique_ptr<wl::Workload>> workloads);
+
+    /** resumeFrom over an in-memory snapshot image (snapshotBytes()).
+     *  Same validation and bit-exactness guarantees as the file path;
+     *  diagnostics name @p label instead of a filename. */
+    static SimSession
+    resumeFromBytes(ExperimentSpec spec,
+                    std::vector<std::uint8_t> bytes,
+                    std::vector<std::unique_ptr<wl::Workload>> workloads,
+                    const std::string& label = "<memory>");
 
     /** Register a non-owning observer (must outlive the session). */
     void addObserver(SessionObserver* observer);
@@ -265,6 +283,8 @@ class SimSession
 
   private:
     void notifyRunEndOnce();
+    void writeSessionBody(snap::Writer& w) const;
+    void restoreSessionBody(const snap::SnapshotFile& file);
 
     ExperimentSpec spec_;
     std::unique_ptr<sim::System> system_;

@@ -9,6 +9,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -80,6 +81,10 @@ connectToServe(const std::string& address)
             throw ServeError("bad tcp host (want a dotted quad): " +
                              address);
         }
+        // Small frames fly in both directions; Nagle would hold them
+        // back against the daemon's window stream.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
                       sizeof(addr)) < 0) {
             const int err = errno;

@@ -1,0 +1,328 @@
+#include "service/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "service/wire.hpp"
+
+namespace pythia::service {
+
+namespace {
+
+// ---------------------------------------------------------------- poll
+
+/**
+ * Portable fallback: a persistent pollfd vector plus an fd→slot map.
+ * add/mod/del touch single entries, so the per-tick cost over the old
+ * rebuild-everything loop drops to the poll() call itself. Removal
+ * swaps the last entry into the vacated slot to stay dense.
+ */
+class PollEventLoop final : public EventLoop
+{
+  public:
+    void add(int fd, void* ud, bool want_in, bool want_out) override
+    {
+        index_[fd] = pfds_.size();
+        pollfd p{};
+        p.fd = fd;
+        p.events = eventsFor(want_in, want_out);
+        pfds_.push_back(p);
+        uds_.push_back(ud);
+    }
+
+    void mod(int fd, bool want_in, bool want_out) override
+    {
+        pfds_[index_.at(fd)].events = eventsFor(want_in, want_out);
+    }
+
+    void del(int fd) override
+    {
+        const auto it = index_.find(fd);
+        if (it == index_.end())
+            return;
+        const std::size_t slot = it->second;
+        const std::size_t last = pfds_.size() - 1;
+        if (slot != last) {
+            pfds_[slot] = pfds_[last];
+            uds_[slot] = uds_[last];
+            index_[pfds_[slot].fd] = slot;
+        }
+        pfds_.pop_back();
+        uds_.pop_back();
+        index_.erase(it);
+    }
+
+    std::size_t wait(std::vector<IoEvent>& out, int timeout_ms) override
+    {
+        out.clear();
+        const int rc =
+            ::poll(pfds_.data(), static_cast<nfds_t>(pfds_.size()),
+                   timeout_ms);
+        if (rc <= 0)
+            return 0; // timeout, or EINTR — caller just loops
+        out.reserve(static_cast<std::size_t>(rc));
+        for (std::size_t i = 0; i < pfds_.size(); ++i) {
+            const short re = pfds_[i].revents;
+            if (re == 0)
+                continue;
+            IoEvent ev;
+            ev.fd = pfds_[i].fd;
+            ev.ud = uds_[i];
+            // HUP counts as readable: a half-closed peer may still
+            // have final frames queued, which read() drains to EOF.
+            ev.in = (re & (POLLIN | POLLHUP)) != 0;
+            ev.out = (re & POLLOUT) != 0;
+            ev.err = (re & (POLLERR | POLLNVAL)) != 0;
+            out.push_back(ev);
+            if (out.size() == static_cast<std::size_t>(rc))
+                break;
+        }
+        return out.size();
+    }
+
+    const char* name() const override { return "poll"; }
+
+  private:
+    static short eventsFor(bool want_in, bool want_out)
+    {
+        short e = 0;
+        if (want_in)
+            e |= POLLIN;
+        if (want_out)
+            e |= POLLOUT;
+        return e;
+    }
+
+    std::vector<pollfd> pfds_;
+    std::vector<void*> uds_; ///< parallel to pfds_
+    std::unordered_map<int, std::size_t> index_;
+};
+
+// --------------------------------------------------------------- epoll
+
+#ifdef __linux__
+
+/** Linux backend: the kernel owns the interest set, wait() returns
+ *  only ready fds — O(ready) dispatch regardless of tenant count.
+ *  Level-triggered on purpose: identical semantics to poll(), so the
+ *  server never needs backend-specific drain logic. */
+class EpollEventLoop final : public EventLoop
+{
+  public:
+    EpollEventLoop()
+    {
+        ep_ = ::epoll_create1(EPOLL_CLOEXEC);
+        if (ep_ < 0)
+            throw ServeError(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+    }
+
+    ~EpollEventLoop() override { ::close(ep_); }
+
+    void add(int fd, void* ud, bool want_in, bool want_out) override
+    {
+        uds_[fd] = ud;
+        epoll_event ev = eventFor(fd, want_in, want_out);
+        if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) != 0)
+            throw ServeError(std::string("epoll_ctl(ADD): ") +
+                             std::strerror(errno));
+    }
+
+    void mod(int fd, bool want_in, bool want_out) override
+    {
+        epoll_event ev = eventFor(fd, want_in, want_out);
+        if (::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev) != 0)
+            throw ServeError(std::string("epoll_ctl(MOD): ") +
+                             std::strerror(errno));
+    }
+
+    void del(int fd) override
+    {
+        ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+        uds_.erase(fd);
+    }
+
+    std::size_t wait(std::vector<IoEvent>& out, int timeout_ms) override
+    {
+        out.clear();
+        epoll_event evs[256];
+        const int rc = ::epoll_wait(ep_, evs, 256, timeout_ms);
+        if (rc <= 0)
+            return 0;
+        out.reserve(static_cast<std::size_t>(rc));
+        for (int i = 0; i < rc; ++i) {
+            IoEvent ev;
+            ev.fd = static_cast<int>(evs[i].data.u64 & 0xffffffffu);
+            const auto it = uds_.find(ev.fd);
+            ev.ud = it == uds_.end() ? nullptr : it->second;
+            // HUP → readable, matching the poll backend: drain the
+            // peer's final frames down to EOF before closing.
+            ev.in = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+            ev.out = (evs[i].events & EPOLLOUT) != 0;
+            ev.err = (evs[i].events & EPOLLERR) != 0;
+            out.push_back(ev);
+        }
+        return out.size();
+    }
+
+    const char* name() const override { return "epoll"; }
+
+  private:
+    static epoll_event eventFor(int fd, bool want_in, bool want_out)
+    {
+        epoll_event ev{};
+        ev.events = 0;
+        if (want_in)
+            ev.events |= EPOLLIN;
+        if (want_out)
+            ev.events |= EPOLLOUT;
+        ev.data.u64 = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(fd));
+        return ev;
+    }
+
+    int ep_ = -1;
+    std::unordered_map<int, void*> uds_;
+};
+
+#endif // __linux__
+
+} // namespace
+
+std::unique_ptr<EventLoop>
+makeEventLoop(IoBackend backend)
+{
+#ifdef __linux__
+    if (backend == IoBackend::kAuto || backend == IoBackend::kEpoll)
+        return std::make_unique<EpollEventLoop>();
+#else
+    if (backend == IoBackend::kEpoll)
+        throw ServeError("io=epoll requested but this platform has no "
+                         "epoll; use io=poll or io=auto");
+#endif
+    return std::make_unique<PollEventLoop>();
+}
+
+IoBackend
+parseIoBackend(const std::string& name)
+{
+    if (name == "auto")
+        return IoBackend::kAuto;
+    if (name == "poll")
+        return IoBackend::kPoll;
+    if (name == "epoll")
+        return IoBackend::kEpoll;
+    throw ServeError("unknown io backend '" + name +
+                     "' (expected auto|poll|epoll)");
+}
+
+// ---------------------------------------------------------- OutboxRing
+
+void
+OutboxRing::push(std::vector<std::uint8_t> payload)
+{
+    Slot s;
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    s.header = {static_cast<std::uint8_t>(n & 0xff),
+                static_cast<std::uint8_t>((n >> 8) & 0xff),
+                static_cast<std::uint8_t>((n >> 16) & 0xff),
+                static_cast<std::uint8_t>((n >> 24) & 0xff)};
+    s.payload = std::move(payload);
+    bytes_ += s.header.size() + s.payload.size();
+    slots_.push_back(std::move(s));
+}
+
+std::size_t
+OutboxRing::gather(struct iovec* iov, std::size_t max_iov) const
+{
+    std::size_t n = 0;
+    std::size_t off = head_off_;
+    for (const Slot& s : slots_) {
+        if (n == max_iov)
+            break;
+        // Header segment (may be partially sent).
+        if (off < s.header.size()) {
+            iov[n].iov_base =
+                const_cast<std::uint8_t*>(s.header.data()) + off;
+            iov[n].iov_len = s.header.size() - off;
+            ++n;
+            off = 0;
+        } else {
+            off -= s.header.size();
+        }
+        if (n == max_iov)
+            break;
+        // Payload segment. A zero-length payload contributes nothing.
+        if (off < s.payload.size()) {
+            iov[n].iov_base =
+                const_cast<std::uint8_t*>(s.payload.data()) + off;
+            iov[n].iov_len = s.payload.size() - off;
+            ++n;
+        }
+        off = 0;
+    }
+    return n;
+}
+
+void
+OutboxRing::consume(std::size_t n)
+{
+    bytes_ -= n;
+    head_off_ += n;
+    while (!slots_.empty()) {
+        const std::size_t front =
+            slots_.front().header.size() + slots_.front().payload.size();
+        if (head_off_ < front)
+            break;
+        head_off_ -= front;
+        slots_.pop_front();
+    }
+}
+
+FlushResult
+flushOutbox(int fd, OutboxRing& ring)
+{
+    // Batch size: IOV_MAX is at least 16 by POSIX; 64 segments (32
+    // frames) per sendmsg is far below any real limit and keeps the
+    // stack array small.
+    constexpr std::size_t kMaxIov = 64;
+    while (!ring.empty()) {
+        struct iovec iov[kMaxIov];
+        const std::size_t n = ring.gather(iov, kMaxIov);
+        std::size_t batch = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            batch += iov[i].iov_len;
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = n;
+        // sendmsg instead of writev: writev has no MSG_NOSIGNAL, and
+        // the daemon must not die on SIGPIPE when a client vanishes.
+        const ssize_t wrote = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return FlushResult::kBlocked;
+            if (errno == EINTR)
+                continue;
+            return FlushResult::kDead;
+        }
+        ring.consume(static_cast<std::size_t>(wrote));
+        // A short write means the kernel buffer is full; poll for
+        // writability instead of spinning on EAGAIN.
+        if (!ring.empty() && static_cast<std::size_t>(wrote) < batch)
+            return FlushResult::kBlocked;
+    }
+    return FlushResult::kDrained;
+}
+
+} // namespace pythia::service

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * EventLoop — readiness notification behind one interface — and
+ * OutboxRing, the per-connection vectored-write staging buffer. The
+ * two halves of the daemon's scale-out I/O path (DESIGN.md §12):
+ *
+ *  - EventLoop replaces the rebuild-the-pollfd-set-every-tick loop
+ *    with persistent per-fd registrations. Two backends, selected at
+ *    runtime (ServeOptions::io / `io=` knob): epoll on Linux —
+ *    O(ready) dispatch, the kernel holds the interest set — and a
+ *    portable poll() fallback that keeps a persistent pollfd vector
+ *    and mutates single entries on add/mod/del. Both are
+ *    level-triggered, so the server logic is backend-independent:
+ *    "writable" fires until the outbox drains, "readable" until the
+ *    buffer empties.
+ *
+ *  - OutboxRing turns the old one-::send-per-frame outbox into an
+ *    iovec gather list: frames are staged as (4-byte LE length
+ *    header, payload) slot pairs and flushed with a single
+ *    sendmsg(), so one pump pass over a tenant emits one syscall for
+ *    its whole batch of Window/Ack frames. Partial writes are
+ *    resumed from a byte offset into the front slot; byte accounting
+ *    (bytes()) is exact, which is what the outbox backpressure cap
+ *    relies on (tests/test_service.cpp partial-write harness).
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct iovec; // <sys/uio.h>
+
+namespace pythia::service {
+
+/** Readiness backend. kAuto resolves to epoll on Linux, poll
+ *  elsewhere; forcing kEpoll on a non-Linux build throws. */
+enum class IoBackend
+{
+    kAuto,
+    kPoll,
+    kEpoll,
+};
+
+/** One ready fd, as reported by EventLoop::wait(). */
+struct IoEvent
+{
+    int fd = -1;
+    void* ud = nullptr; ///< user data from add()
+    bool in = false;    ///< readable (or incoming connection)
+    bool out = false;   ///< writable
+    bool err = false;   ///< error/hangup — the fd needs attention even
+                        ///< if in/out were not requested
+};
+
+/**
+ * Level-triggered readiness notification over a persistent interest
+ * set. Not thread-safe: the owning loop thread is the only caller —
+ * exactly the daemon's threading model, where workers never touch
+ * sockets and wake the loop through its self-pipe instead.
+ */
+class EventLoop
+{
+  public:
+    virtual ~EventLoop() = default;
+
+    /** Register @p fd with initial interest; @p ud is returned
+     *  verbatim in every IoEvent for this fd. */
+    virtual void add(int fd, void* ud, bool want_in, bool want_out) = 0;
+
+    /** Change interest for a registered fd. Callers are expected to
+     *  skip the call when nothing changed — see updateEvents() in
+     *  server.cpp — so every mod() reaching a backend is a real
+     *  transition. */
+    virtual void mod(int fd, bool want_in, bool want_out) = 0;
+
+    /** Remove @p fd from the interest set (before closing it). */
+    virtual void del(int fd) = 0;
+
+    /**
+     * Block up to @p timeout_ms (-1 = forever) and append one IoEvent
+     * per ready fd to @p out (cleared first).
+     * @return number of ready fds (0 on timeout).
+     */
+    virtual std::size_t wait(std::vector<IoEvent>& out,
+                             int timeout_ms) = 0;
+
+    /** Backend name for stats/tests: "epoll" or "poll". */
+    virtual const char* name() const = 0;
+};
+
+/** Instantiate the selected backend. @throws ServeError when kEpoll
+ *  is requested on a platform without epoll. */
+std::unique_ptr<EventLoop> makeEventLoop(IoBackend backend);
+
+/** Parse an `io=` knob value ("auto" | "poll" | "epoll").
+ *  @throws ServeError on anything else. */
+IoBackend parseIoBackend(const std::string& name);
+
+/**
+ * Per-connection outbound frame queue, staged for vectored writes.
+ *
+ * push() takes a wire payload and stores it alongside its 4-byte LE
+ * length header as one slot; gather() exposes up to max_iov iovecs
+ * (header, payload, header, payload, ...) starting at the current
+ * partial-write offset; consume() advances past n bytes written.
+ * bytes() counts every unsent byte including headers — the number the
+ * server's max_outbox_bytes backpressure compares against, so a
+ * throttled tenant resumes at exactly the documented watermark.
+ */
+class OutboxRing
+{
+  public:
+    /** Stage one frame (length header derived from payload size). */
+    void push(std::vector<std::uint8_t> payload);
+
+    /**
+     * Fill @p iov with up to @p max_iov segments of unsent bytes, in
+     * order. The first segment starts at the partial-write offset.
+     * @return segments filled (0 when empty).
+     */
+    std::size_t gather(struct iovec* iov, std::size_t max_iov) const;
+
+    /** Drop @p n bytes from the front (the writev/sendmsg return). */
+    void consume(std::size_t n);
+
+    bool empty() const { return slots_.empty(); }
+
+    /** Unsent bytes, headers included. */
+    std::size_t bytes() const { return bytes_; }
+
+    /** Frames not yet fully written. */
+    std::size_t frames() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        std::array<std::uint8_t, 4> header; ///< LE payload length
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::deque<Slot> slots_;
+    std::size_t head_off_ = 0; ///< bytes of slots_.front() already sent
+    std::size_t bytes_ = 0;    ///< total unsent (headers + payloads)
+};
+
+/** Outcome of one flush attempt against a socket. */
+enum class FlushResult
+{
+    kDrained, ///< ring is now empty
+    kBlocked, ///< kernel buffer full (EAGAIN / partial write)
+    kDead,    ///< peer gone (EPIPE/ECONNRESET/...) — close the fd
+};
+
+/** Write as much of @p ring to @p fd as the kernel accepts, in
+ *  sendmsg() batches of up to IOV_MAX segments. Never blocks (the
+ *  daemon's sockets are non-blocking) and never raises SIGPIPE. */
+FlushResult flushOutbox(int fd, OutboxRing& ring);
+
+} // namespace pythia::service

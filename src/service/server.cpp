@@ -22,14 +22,17 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "harness/runner.hpp"
+#include "harness/session.hpp"
 #include "harness/timeseries.hpp"
+#include "service/event_loop.hpp"
 #include "service/stream_workload.hpp"
+#include "service/warm_pool.hpp"
 #include "service/wire.hpp"
 
 namespace fs = std::filesystem;
@@ -74,25 +77,34 @@ tenantKeyHex(const std::string& tenant)
 
 // --------------------------------------------------------- Connection
 
-/** One client socket. The loop thread owns fd/inbuf/outq; workers hand
- *  frames over via the mutex-guarded staging buffer. */
-struct Connection
+/** One client socket. The loop thread owns fd/inbuf/outbox and the
+ *  event-loop registration; workers hand frames over via the
+ *  mutex-guarded staging buffer plus the server's dirty list. */
+struct Connection : std::enable_shared_from_this<Connection>
 {
     int fd = -1;
     std::vector<std::uint8_t> inbuf;
-    std::deque<std::vector<std::uint8_t>> outq; ///< wire bytes (len+payload)
-    std::size_t out_off = 0;
+    OutboxRing outbox;      ///< staged wire frames, flushed vectored
     bool got_hello = false;
-    bool closing = false;   ///< flush outq, then close
-    bool paused_in = false; ///< inflight cap reached; POLLIN off
+    bool closing = false;   ///< flush outbox, then close
+    bool paused_in = false; ///< inflight cap reached; read interest off
+
+    // Event-loop registration mirror: updateEvents() only issues a
+    // mod() when the wanted interest differs from what's registered.
+    bool registered = false;
+    bool reg_in = false;
+    bool reg_out = false;
 
     std::mutex mu;
     std::vector<std::vector<std::uint8_t>> staged; ///< payloads from workers
     bool dead = false; ///< socket closed; staging is a no-op
 
-    /** Total queued outgoing bytes (staged + outq), for throttling. */
+    /** Total queued outgoing bytes (staged + outbox, headers
+     *  included) — exact, updated on every partial write, which is
+     *  what the max_outbox_bytes throttle compares against. */
     std::atomic<std::size_t> out_bytes{0};
     std::atomic<bool> close_after_flush{false};
+    std::atomic<bool> dirty_queued{false}; ///< on the server dirty list
 
     std::shared_ptr<struct Tenant> tenant;
 
@@ -125,6 +137,12 @@ struct Tenant
     StreamWorkload* stream = nullptr; ///< owned by session's System
     std::optional<harness::SimSession> session;
 
+    // Warm-pool leadership (worker-owned): set when this tenant's
+    // open acquired the right to warm its fingerprint; cleared on
+    // publish, and abandoned on failure/eviction so waiters recover.
+    bool warm_leader = false;
+    std::string warm_fp;
+
     std::atomic<bool> run_ended{false};
     std::atomic<bool> evicted{false};
     std::atomic<std::uint64_t> records_received{0};
@@ -141,14 +159,28 @@ struct Tenant
 
 struct ServeServer::Impl
 {
-    explicit Impl(ServeOptions o) : opt(std::move(o)) {}
+    explicit Impl(ServeOptions o)
+        : opt(std::move(o)), warm_pool(opt.warm_pool_bytes)
+    {
+    }
 
     ServeOptions opt;
+    WarmPool warm_pool;
 
     int listen_fd = -1;
     int wake_r = -1;
     int wake_w = -1;
     std::string bound_address;
+
+    /** Readiness backend; created in start() so an explicit io=epoll
+     *  on a platform without it fails there, not inside the thread. */
+    std::unique_ptr<EventLoop> loop;
+
+    /** Connections with worker-staged frames (or other state the loop
+     *  must service); populated by markDirty(), drained each tick so
+     *  the loop touches O(dirty) connections instead of all of them. */
+    std::mutex dirty_mu;
+    std::vector<std::shared_ptr<Connection>> dirty;
 
     std::thread loop_thread;
     std::vector<std::thread> pool;
@@ -193,6 +225,30 @@ struct ServeServer::Impl
     {
         const char b = 1;
         [[maybe_unused]] ssize_t n = ::write(wake_w, &b, 1);
+    }
+
+    /** Ask the loop to service @p c (flush staging, re-check pause /
+     *  throttle watermarks). Deduplicated: one entry per connection
+     *  per loop tick, and only the first marker pays a wake write —
+     *  a pump pass staging many windows wakes the loop once, which
+     *  then flushes them in one vectored write. */
+    void markDirty(const std::shared_ptr<Connection>& c)
+    {
+        if (c->dirty_queued.exchange(true))
+            return;
+        {
+            std::lock_guard<std::mutex> lk(dirty_mu);
+            dirty.push_back(c);
+        }
+        wake();
+    }
+
+    /** Worker-side send: stage a payload and notify the loop. */
+    void stageTo(const std::shared_ptr<Connection>& c,
+                 std::vector<std::uint8_t> payload)
+    {
+        c->stage(std::move(payload));
+        markDirty(c);
     }
 
     std::string statePath(const std::string& tenant,
@@ -312,6 +368,44 @@ struct ServeServer::Impl
 
     // --------------------------------------------------- worker tasks
 
+    /** Release @p t's warm-pool leadership, waking waiters so one of
+     *  them warms instead. No-op unless t is an unpublished leader. */
+    void abandonWarmLead(const std::shared_ptr<Tenant>& t)
+    {
+        if (!t->warm_leader)
+            return;
+        t->warm_leader = false;
+        warm_pool.abandon(t->warm_fp);
+    }
+
+    /** Leader just finished warmup: publish its post-warmup snapshot
+     *  plus the warmup record prefix it consumed. Serialization
+     *  failures (a prefetcher without snapshot support) abandon the
+     *  entry — those specs simply keep warming per-tenant. */
+    void publishWarm(const std::shared_ptr<Tenant>& t)
+    {
+        if (!t->warm_leader)
+            return;
+        t->warm_leader = false;
+        try {
+            WarmPool::Snapshot snap;
+            snap.image =
+                std::make_shared<const std::vector<std::uint8_t>>(
+                    t->session->snapshotBytes());
+            const auto& records = t->stream->records();
+            const auto consumed = static_cast<std::ptrdiff_t>(
+                t->stream->consumed());
+            snap.prefix =
+                std::make_shared<const std::vector<wl::TraceRecord>>(
+                    records.begin(), records.begin() + consumed);
+            warm_pool.publish(t->warm_fp, std::move(snap));
+        } catch (const std::exception& e) {
+            warm_pool.abandon(t->warm_fp);
+            log("warm-pool publish failed for tenant '" + t->id +
+                "': " + e.what());
+        }
+    }
+
     void failTenant(const std::shared_ptr<Tenant>& t,
                     const std::shared_ptr<Connection>& c,
                     std::uint32_t kind, const std::string& message)
@@ -320,23 +414,38 @@ struct ServeServer::Impl
         t->evicted = true;
         t->session.reset();
         t->stream = nullptr;
+        abandonWarmLead(t);
         removeTenant(t->id);
         if (c) {
             c->stage(encodeError(kind, message));
             c->close_after_flush = true;
+            markDirty(c);
+        } else {
+            wake();
         }
-        wake();
         log("tenant '" + t->id + "' failed: " + message);
     }
 
     void openTask(const std::shared_ptr<Tenant>& t,
                   const std::shared_ptr<Connection>& c)
     {
+        // A warm-pool waiter's callback can re-run this task after
+        // the tenant already died (disconnect, drain, idle eviction).
+        if (t->evicted || t->run_ended || t->session)
+            return;
+        if (drain_requested.load()) {
+            removeTenant(t->id);
+            return;
+        }
         try {
             auto stream = std::make_unique<StreamWorkload>(
                 "serve:" + t->id);
             bool resumed = false;
+            bool warm = false;
+            WarmPool::Snapshot warm_snap;
             if (hasEvictedState(t->id)) {
+                // Per-tenant evicted state takes precedence over the
+                // shared pool: it carries mid-run progress.
                 const std::string trace_path =
                     statePath(t->id, ".trace");
                 if (!fs::exists(trace_path))
@@ -346,6 +455,29 @@ struct ServeServer::Impl
                 stream = std::make_unique<StreamWorkload>(
                     "serve:" + t->id, wl::readTraceFile(trace_path));
                 resumed = true;
+            } else if (warm_pool.enabled()) {
+                const std::string fp = harness::fingerprintFor(t->spec);
+                const WarmPool::Role role = warm_pool.acquire(
+                    fp, &warm_snap, [this, t, c] {
+                        // Leader settled (published or abandoned):
+                        // retry the open on the tenant's task queue —
+                        // normally a pool hit now, else we lead.
+                        schedule(t,
+                                 [this, t, c] { openTask(t, c); });
+                    });
+                if (role == WarmPool::Role::kWaiter)
+                    return; // parked; the callback re-runs us
+                if (role == WarmPool::Role::kHit) {
+                    // Seed the stream with the pooled warmup prefix —
+                    // restore replays consumed records from the start,
+                    // and the client streams from prefix end.
+                    stream = std::make_unique<StreamWorkload>(
+                        "serve:" + t->id, *warm_snap.prefix);
+                    warm = true;
+                } else {
+                    t->warm_leader = true;
+                    t->warm_fp = fp;
+                }
             }
             t->stream = stream.get();
             std::vector<std::unique_ptr<wl::Workload>> workloads;
@@ -355,6 +487,10 @@ struct ServeServer::Impl
                     t->spec, statePath(t->id, ".snap"),
                     std::move(workloads)));
                 ++sessions_resumed;
+            } else if (warm) {
+                t->session.emplace(harness::SimSession::resumeFromBytes(
+                    t->spec, *warm_snap.image, std::move(workloads),
+                    "warm-pool"));
             } else {
                 t->session.emplace(t->spec, std::move(workloads));
             }
@@ -366,12 +502,12 @@ struct ServeServer::Impl
 
             HelloAckMsg ack;
             ack.resumed = resumed;
+            ack.warm = warm;
             ack.instrs_advanced = t->session->instrsAdvanced();
             ack.windows_completed = t->session->windowsCompleted();
             ack.records_received = t->stream->size();
             ack.records_consumed = t->stream->consumed();
-            c->stage(encodeHelloAck(ack));
-            wake();
+            stageTo(c, encodeHelloAck(ack));
             pumpTask(t, c); // records may already be pending
         } catch (const snap::FingerprintError& e) {
             failTenant(t, c, kErrResume, e.what());
@@ -404,13 +540,26 @@ struct ServeServer::Impl
             return;
         harness::SimSession& s = *t->session;
         try {
+            // Warmup runs as its own phase (bit-identical to the
+            // implicit warmup inside advance(): advance() calls
+            // runWarmup() first) so a warm-pool leader can publish
+            // the post-warmup machine state before any window runs.
+            if (!s.warmupDone()) {
+                if (t->stream->available() <
+                    t->spec.warmup_instrs + kGateSlack)
+                    return; // starved: wait for more records
+                s.runWarmup();
+                t->records_consumed = t->stream->consumed();
+                publishWarm(t);
+                if (c)
+                    // No frame was staged, but consumption advanced:
+                    // the loop must re-check the inflight pause.
+                    markDirty(c);
+            }
             while (!s.done()) {
                 const std::uint64_t step =
                     std::min(t->window_instrs, s.instrsRemaining());
-                std::uint64_t need = step + kGateSlack;
-                if (!s.warmupDone())
-                    need += t->spec.warmup_instrs;
-                if (t->stream->available() < need)
+                if (t->stream->available() < step + kGateSlack)
                     return; // starved: wait for more records
                 if (c && c->out_bytes.load() > opt.max_outbox_bytes) {
                     // Slow client: stop simulating until its write
@@ -425,10 +574,10 @@ struct ServeServer::Impl
                 wm.records_consumed = t->stream->consumed();
                 recordWindow(wm.window);
                 ++windows_emitted;
-                if (c) {
-                    c->stage(encodeWindow(wm));
-                    wake();
-                }
+                if (c)
+                    // Consecutive windows coalesce: markDirty dedups,
+                    // so the whole pass flushes as one vectored write.
+                    stageTo(c, encodeWindow(wm));
             }
             if (!t->run_ended.exchange(true)) {
                 ++runs_completed;
@@ -437,10 +586,8 @@ struct ServeServer::Impl
                 rm.windows_completed = s.windowsCompleted();
                 rm.records_consumed = t->stream->consumed();
                 removeStateFiles(t->id);
-                if (c) {
-                    c->stage(encodeRunEnd(rm));
-                    wake();
-                }
+                if (c)
+                    stageTo(c, encodeRunEnd(rm));
             }
         } catch (const std::exception& e) {
             failTenant(t, c, kErrInternal, e.what());
@@ -454,6 +601,10 @@ struct ServeServer::Impl
     {
         splicePending(t);
         if (t->run_ended || t->evicted || !t->session) {
+            // Terminal either way (covers warm-pool waiters that never
+            // opened a session): late waiter callbacks must no-op.
+            t->evicted = true;
+            abandonWarmLead(t);
             removeTenant(t->id);
             if (ack_conn) {
                 DetachAckMsg ack;
@@ -462,8 +613,7 @@ struct ServeServer::Impl
                     t->session ? t->session->instrsAdvanced() : 0;
                 ack.windows_completed =
                     t->session ? t->session->windowsCompleted() : 0;
-                ack_conn->stage(encodeDetachAck(ack));
-                wake();
+                stageTo(ack_conn, encodeDetachAck(ack));
             }
             return;
         }
@@ -478,6 +628,7 @@ struct ServeServer::Impl
                                  t->id + "'");
             t->session->snapshotTo(statePath(t->id, ".snap"));
             t->evicted = true;
+            abandonWarmLead(t); // evicted mid-warmup: let a waiter lead
             ++sessions_evicted;
             DetachAckMsg ack;
             ack.records_received = t->stream->size();
@@ -488,10 +639,8 @@ struct ServeServer::Impl
             removeTenant(t->id);
             log("evicted tenant '" + t->id + "' (" +
                 std::to_string(ack.instrs_advanced) + " instrs)");
-            if (ack_conn) {
-                ack_conn->stage(encodeDetachAck(ack));
-                wake();
-            }
+            if (ack_conn)
+                stageTo(ack_conn, encodeDetachAck(ack));
         } catch (const std::exception& e) {
             failTenant(t, ack_conn, kErrInternal, e.what());
         }
@@ -507,8 +656,11 @@ struct ServeServer::Impl
                 const_cast<std::mutex&>(tenants_mu));
             active = tenants.size();
         }
+        const WarmPool::Stats wp = warm_pool.stats();
         std::ostringstream os;
         os << "{\n  \"schema\": \"pythia-serve-stats-v1\",\n"
+           << "  \"io_backend\": \""
+           << (loop ? loop->name() : "unset") << "\",\n"
            << "  \"active_tenants\": " << active << ",\n"
            << "  \"connections_accepted\": " << connections_accepted
            << ",\n"
@@ -519,6 +671,15 @@ struct ServeServer::Impl
            << "  \"windows_emitted\": " << windows_emitted << ",\n"
            << "  \"records_received\": " << records_received << ",\n"
            << "  \"frames_rejected\": " << frames_rejected << ",\n"
+           << "  \"warm_pool\": {\"enabled\": "
+           << (warm_pool.enabled() ? "true" : "false")
+           << ", \"hits\": " << wp.hits
+           << ", \"misses\": " << wp.misses
+           << ", \"waits\": " << wp.waits
+           << ", \"inserts\": " << wp.inserts
+           << ", \"evictions\": " << wp.evictions
+           << ", \"bytes\": " << wp.bytes
+           << ", \"entries\": " << wp.entries << "},\n"
            << "  \"timeseries\": ";
         {
             std::lock_guard<std::mutex> lk(series_mu);
@@ -679,14 +840,42 @@ struct ServeServer::Impl
                 return; // EAGAIN or transient error: poll again
             setCloexec(fd);
             setNonBlocking(fd);
+            if (opt.unix_path.empty()) {
+                // Stream socket: windows and acks are small frames;
+                // Nagle would batch them against the client's acks.
+                const int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+            }
             auto c = std::make_shared<Connection>();
             c->fd = fd;
+            updateEvents(c);
             conns.push_back(std::move(c));
             ++connections_accepted;
         }
     }
 
-    /** Move worker-staged payloads into the socket write queue. */
+    /** Reconcile the event-loop registration with what the connection
+     *  currently wants; issues a syscall only on a real transition. */
+    void updateEvents(const std::shared_ptr<Connection>& c)
+    {
+        if (c->fd < 0)
+            return;
+        const bool want_in = !c->closing && !c->paused_in;
+        const bool want_out = !c->outbox.empty();
+        if (!c->registered) {
+            loop->add(c->fd, c.get(), want_in, want_out);
+            c->registered = true;
+        } else if (want_in != c->reg_in || want_out != c->reg_out) {
+            loop->mod(c->fd, want_in, want_out);
+        } else {
+            return;
+        }
+        c->reg_in = want_in;
+        c->reg_out = want_out;
+    }
+
+    /** Move worker-staged payloads into the outbox ring. */
     void drainStaged(const std::shared_ptr<Connection>& c)
     {
         std::vector<std::vector<std::uint8_t>> staged;
@@ -696,40 +885,62 @@ struct ServeServer::Impl
             staged.swap(c->staged);
             close_req = c->close_after_flush.load();
         }
-        for (auto& payload : staged) {
-            std::vector<std::uint8_t> wire(4 + payload.size());
-            const auto n = static_cast<std::uint32_t>(payload.size());
-            for (int i = 0; i < 4; ++i)
-                wire[static_cast<std::size_t>(i)] =
-                    static_cast<std::uint8_t>(n >> (8 * i));
-            std::copy(payload.begin(), payload.end(), wire.begin() + 4);
-            c->outq.push_back(std::move(wire));
-        }
+        for (auto& payload : staged)
+            c->outbox.push(std::move(payload));
         if (close_req)
             c->closing = true;
     }
 
-    /** @return false when the connection died. */
+    /** Vectored flush of the outbox ring, with exact out_bytes
+     *  accounting. @return false when the connection died. */
     bool flushOut(const std::shared_ptr<Connection>& c)
     {
-        while (!c->outq.empty()) {
-            const std::vector<std::uint8_t>& front = c->outq.front();
-            const ssize_t n =
-                ::send(c->fd, front.data() + c->out_off,
-                       front.size() - c->out_off, MSG_NOSIGNAL);
-            if (n < 0) {
-                if (errno == EAGAIN || errno == EWOULDBLOCK ||
-                    errno == EINTR)
-                    return true;
-                return false;
-            }
-            c->out_off += static_cast<std::size_t>(n);
-            if (c->out_off == front.size()) {
-                c->out_bytes -= front.size();
-                c->outq.pop_front();
-                c->out_off = 0;
+        if (c->outbox.empty())
+            return true;
+        const std::size_t before = c->outbox.bytes();
+        const FlushResult r = flushOutbox(c->fd, c->outbox);
+        c->out_bytes -= before - c->outbox.bytes();
+        return r != FlushResult::kDead;
+    }
+
+    /**
+     * One full service pass over @p c on the loop thread: splice
+     * staged frames into the ring, flush, and re-evaluate every
+     * backpressure watermark. The single place pause/throttle state
+     * transitions happen, so both the dirty path and the readiness
+     * path behave identically. @return false when the connection died.
+     */
+    bool serviceConn(const std::shared_ptr<Connection>& c)
+    {
+        drainStaged(c);
+        if (!flushOut(c))
+            return false;
+        auto t = c->tenant;
+        if (t) {
+            const std::uint64_t inflight =
+                t->records_received.load() -
+                t->records_consumed.load();
+            if (!c->paused_in && inflight > opt.max_inflight_records)
+                c->paused_in = true;
+            else if (c->paused_in &&
+                     inflight <= opt.max_inflight_records / 2)
+                c->paused_in = false;
+            if (t->throttled.load() &&
+                c->out_bytes.load() < opt.max_outbox_bytes / 2) {
+                if (t->throttled.exchange(false))
+                    schedulePump(t, c);
             }
         }
+        if (c->closing && c->outbox.empty()) {
+            bool staged_empty;
+            {
+                std::lock_guard<std::mutex> lk(c->mu);
+                staged_empty = c->staged.empty();
+            }
+            if (staged_empty)
+                return false; // flushed everything; close for real
+        }
+        updateEvents(c);
         return true;
     }
 
@@ -770,6 +981,10 @@ struct ServeServer::Impl
             c->dead = true;
             c->staged.clear();
         }
+        if (c->registered) {
+            loop->del(c->fd);
+            c->registered = false;
+        }
         ::close(c->fd);
         c->fd = -1;
         if (c->tenant) {
@@ -788,30 +1003,50 @@ struct ServeServer::Impl
 
     // ------------------------------------------------------- main loop
 
+    /** Disconnect and forget every connection in @p dead (entries a
+     *  prior sweep already closed are skipped). */
+    void reapDead(std::vector<std::shared_ptr<Connection>>& dead,
+                  bool draining)
+    {
+        for (auto& c : dead) {
+            if (c->fd < 0)
+                continue; // already reaped this tick
+            disconnect(c, draining);
+            conns.erase(std::remove(conns.begin(), conns.end(), c),
+                        conns.end());
+        }
+        dead.clear();
+    }
+
     void loopMain()
     {
         bool draining = false;
         Clock::time_point drain_deadline{};
-        std::vector<pollfd> pfds;
-        std::vector<std::shared_ptr<Connection>> pfd_conn;
+        std::vector<IoEvent> events;
+        std::vector<std::shared_ptr<Connection>> dirty_now;
+        std::vector<std::shared_ptr<Connection>> dead;
+
+        loop->add(wake_r, nullptr, true, false);
+        if (listen_fd >= 0)
+            loop->add(listen_fd, nullptr, true, false);
 
         while (true) {
-            // Worker output → socket queues; backpressure bookkeeping.
-            for (auto& c : conns) {
-                drainStaged(c);
-                if (c->paused_in && c->tenant) {
-                    const std::uint64_t inflight =
-                        c->tenant->records_received.load() -
-                        c->tenant->records_consumed.load();
-                    if (inflight <= opt.max_inflight_records / 2)
-                        c->paused_in = false;
-                }
-                if (c->tenant && c->tenant->throttled.load() &&
-                    c->out_bytes.load() < opt.max_outbox_bytes / 2) {
-                    if (c->tenant->throttled.exchange(false))
-                        schedulePump(c->tenant, c);
-                }
+            // Service only the connections workers flagged since the
+            // last tick — staged frames to splice/flush, watermark
+            // transitions — instead of scanning every connection.
+            dirty_now.clear();
+            {
+                std::lock_guard<std::mutex> lk(dirty_mu);
+                dirty_now.swap(dirty);
             }
+            for (auto& c : dirty_now) {
+                c->dirty_queued = false;
+                if (c->fd < 0)
+                    continue;
+                if (!serviceConn(c))
+                    dead.push_back(c);
+            }
+            reapDead(dead, draining);
 
             if (drain_requested.load() && !draining) {
                 draining = true;
@@ -819,6 +1054,7 @@ struct ServeServer::Impl
                     Clock::now() +
                     std::chrono::milliseconds(kDrainGraceMs);
                 if (listen_fd >= 0) {
+                    loop->del(listen_fd);
                     ::close(listen_fd);
                     listen_fd = -1;
                 }
@@ -838,7 +1074,7 @@ struct ServeServer::Impl
                 bool flushed = true;
                 for (auto& c : conns) {
                     std::lock_guard<std::mutex> lk(c->mu);
-                    if (!c->outq.empty() || !c->staged.empty())
+                    if (!c->outbox.empty() || !c->staged.empty())
                         flushed = false;
                 }
                 if ((busy_tasks.load() == 0 && flushed) ||
@@ -868,30 +1104,13 @@ struct ServeServer::Impl
                         log("idle-evicting tenant '" + t->id + "'");
                         c->closing = true;
                         c->tenant.reset();
+                        updateEvents(c); // stop reading immediately
                         schedule(t, [this, t] {
                             evictTask(t, nullptr);
                         });
+                        markDirty(c); // close once the outbox drains
                     }
                 }
-            }
-
-            // Build the poll set.
-            pfds.clear();
-            pfd_conn.clear();
-            pfds.push_back({wake_r, POLLIN, 0});
-            pfd_conn.push_back(nullptr);
-            if (listen_fd >= 0 && !draining) {
-                pfds.push_back({listen_fd, POLLIN, 0});
-                pfd_conn.push_back(nullptr);
-            }
-            for (auto& c : conns) {
-                short events = 0;
-                if (!c->closing && !c->paused_in)
-                    events |= POLLIN;
-                if (!c->outq.empty())
-                    events |= POLLOUT;
-                pfds.push_back({c->fd, events, 0});
-                pfd_conn.push_back(c);
             }
 
             int timeout_ms = 1000;
@@ -900,70 +1119,35 @@ struct ServeServer::Impl
             else if (opt.idle_evict_ms > 0)
                 timeout_ms = static_cast<int>(std::min<std::uint64_t>(
                     opt.idle_evict_ms / 2 + 1, 1000));
-            const int rc = ::poll(pfds.data(), pfds.size(),
-                                  timeout_ms);
-            if (rc < 0 && errno != EINTR) {
-                log(std::string("poll: ") + std::strerror(errno));
-                exit_code = 1;
-                break;
-            }
+            loop->wait(events, timeout_ms);
 
-            // Drain the wake pipe.
-            if (pfds[0].revents & POLLIN) {
-                std::uint8_t b[256];
-                while (::read(wake_r, b, sizeof b) > 0) {
-                }
-            }
-
-            std::size_t idx = 1;
-            if (listen_fd >= 0 && !draining) {
-                if (pfds[idx].revents & POLLIN)
-                    acceptClients();
-                ++idx;
-            }
-
-            std::vector<std::shared_ptr<Connection>> dead;
-            for (; idx < pfds.size(); ++idx) {
-                auto& c = pfd_conn[idx];
-                if (!c || c->fd < 0)
-                    continue;
-                const short rev = pfds[idx].revents;
-                bool alive = true;
-                if (rev & (POLLERR | POLLNVAL))
-                    alive = false;
-                if (alive && (rev & POLLOUT))
-                    alive = flushOut(c);
-                if (alive && (rev & (POLLIN | POLLHUP)))
-                    alive = readIn(c);
-                if (alive) {
-                    drainStaged(c);
-                    if (!flushOut(c))
-                        alive = false;
-                }
-                if (alive && c->closing && c->outq.empty()) {
-                    bool staged_empty;
-                    {
-                        std::lock_guard<std::mutex> lk(c->mu);
-                        staged_empty = c->staged.empty();
+            for (const IoEvent& ev : events) {
+                if (ev.fd == wake_r) {
+                    std::uint8_t b[256];
+                    while (::read(wake_r, b, sizeof b) > 0) {
                     }
-                    if (staged_empty)
-                        alive = false;
+                    continue;
                 }
-                if (alive && c->tenant) {
-                    const std::uint64_t inflight =
-                        c->tenant->records_received.load() -
-                        c->tenant->records_consumed.load();
-                    if (inflight > opt.max_inflight_records)
-                        c->paused_in = true;
+                if (listen_fd >= 0 && ev.fd == listen_fd) {
+                    if (!draining)
+                        acceptClients();
+                    continue;
                 }
+                auto* raw = static_cast<Connection*>(ev.ud);
+                if (!raw)
+                    continue; // registration already gone
+                auto c = raw->shared_from_this();
+                if (c->fd < 0)
+                    continue;
+                bool alive = !ev.err;
+                if (alive && ev.in)
+                    alive = readIn(c);
+                if (alive)
+                    alive = serviceConn(c);
                 if (!alive)
                     dead.push_back(c);
             }
-            for (auto& c : dead) {
-                disconnect(c, draining);
-                conns.erase(std::remove(conns.begin(), conns.end(), c),
-                            conns.end());
-            }
+            reapDead(dead, draining);
         }
 
         // Shut the pool down (drain eviction tasks already ran:
@@ -1020,6 +1204,9 @@ ServeServer::start()
     setCloexec(impl_->wake_r);
     setCloexec(impl_->wake_w);
     impl_->bindAndListen();
+    // Created here, not in the loop thread, so an explicit io=epoll
+    // on a platform without it fails the start() call directly.
+    impl_->loop = makeEventLoop(impl_->opt.io);
     const unsigned workers = std::max(1u, impl_->opt.workers);
     for (unsigned i = 0; i < workers; ++i)
         impl_->pool.emplace_back([impl = impl_.get()] {
@@ -1082,6 +1269,12 @@ ServeServer::stats() const
         std::lock_guard<std::mutex> lk(impl_->tenants_mu);
         s.active_tenants = impl_->tenants.size();
     }
+    const WarmPool::Stats wp = impl_->warm_pool.stats();
+    s.warm_hits = wp.hits;
+    s.warm_misses = wp.misses;
+    s.warm_waits = wp.waits;
+    s.warm_evictions = wp.evictions;
+    s.warm_bytes = wp.bytes;
     return s;
 }
 

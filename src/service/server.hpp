@@ -2,7 +2,8 @@
  * @file
  * ServeServer — the prefetch-as-a-service daemon core (DESIGN.md §12).
  *
- * A poll-based connection loop (one thread) accepts clients on a Unix
+ * A single-threaded connection loop — epoll on Linux, poll() fallback,
+ * selected at runtime (event_loop.hpp) — accepts clients on a Unix
  * or loopback-TCP socket and speaks pythia-serve-v1 (wire.hpp). Each
  * client attaches a *tenant*: an id + ExperimentSpec whose access
  * stream the client feeds in kAccess frames and whose SimSession runs
@@ -10,14 +11,16 @@
  * windows complete.
  *
  * Concurrency model:
- *  - The loop thread owns sockets: read accumulators, write queues,
- *    poll registration. It never simulates.
+ *  - The loop thread owns sockets: read accumulators, outbox rings,
+ *    event-loop registration. It never simulates.
  *  - Workers execute per-tenant task queues (open/restore, pump,
  *    evict), strictly serialized per tenant — a tenant's session is
  *    only ever touched by the one task running for it.
  *  - Workers hand frames back through a mutex-guarded staging buffer
- *    on the connection plus a self-pipe wakeup; the loop splices them
- *    into the socket write queue.
+ *    on the connection plus a dirty-connection list and self-pipe
+ *    wakeup; the loop splices staged frames into the connection's
+ *    iovec outbox ring and flushes it with one vectored write per
+ *    batch (event_loop.hpp).
  *
  * Resource caps (per tenant / connection):
  *  - inflight records: when streamed-but-unconsumed records exceed
@@ -35,16 +38,26 @@
  * restores both transparently — bit-exact by the PR 6 determinism
  * rule — and tells the client which record index to resume from.
  *
+ * Warm-snapshot pool (warm_pool_bytes > 0): tenants with no evicted
+ * state share post-warmup machine state keyed by the spec fingerprint.
+ * The first Open per fingerprint warms and publishes (single-flight —
+ * simultaneous identical Opens wait instead of warming N times);
+ * later identical Opens restore from the pooled snapshot and skip
+ * warmup bit-exactly (warm_pool.hpp).
+ *
  * Graceful drain (SIGTERM → requestDrain(), async-signal-safe): stop
  * accepting, evict every live session to state_dir, flush outstanding
  * frames, close, join() returns 0.
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+
+#include "service/event_loop.hpp"
 
 namespace pythia::service {
 
@@ -74,6 +87,16 @@ struct ServeOptions
     /** Evict sessions idle for this long and close their connection;
      *  0 disables idle eviction. */
     std::uint64_t idle_evict_ms = 0;
+
+    /** Readiness backend for the connection loop (`io=` knob):
+     *  kAuto resolves to epoll on Linux, poll elsewhere. */
+    IoBackend io = IoBackend::kAuto;
+
+    /** Byte budget of the shared warm-snapshot pool (`warm_pool_bytes=`
+     *  knob): the first tenant finishing warmup for a spec publishes
+     *  its post-warmup snapshot, later identical Opens restore from it
+     *  and skip warmup bit-exactly. 0 disables the pool. */
+    std::size_t warm_pool_bytes = 0;
 
     /** Diagnostics stream (nullptr = silent). */
     std::ostream* log = nullptr;
@@ -120,6 +143,11 @@ class ServeServer
         std::uint64_t records_received = 0;
         std::uint64_t frames_rejected = 0;
         std::uint64_t active_tenants = 0;
+        std::uint64_t warm_hits = 0;      ///< opens served from the pool
+        std::uint64_t warm_misses = 0;    ///< opens that warmed (leaders)
+        std::uint64_t warm_waits = 0;     ///< opens parked behind a leader
+        std::uint64_t warm_evictions = 0; ///< pool LRU drops
+        std::uint64_t warm_bytes = 0;     ///< pool bytes currently held
     };
 
     Stats stats() const;

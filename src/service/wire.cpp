@@ -81,6 +81,7 @@ encodeHelloAck(const HelloAckMsg& m)
     w.str(kServeSchemaName);
     w.u32(kServeVersion);
     w.boolean(m.resumed);
+    w.boolean(m.warm);
     w.u64(m.instrs_advanced);
     w.u64(m.windows_completed);
     w.u64(m.records_received);
@@ -224,6 +225,7 @@ decodeHelloAck(const std::vector<std::uint8_t>& payload)
                                  std::to_string(version));
         HelloAckMsg m;
         m.resumed = r.boolean();
+        m.warm = r.boolean();
         m.instrs_advanced = r.u64();
         m.windows_completed = r.u64();
         m.records_received = r.u64();

@@ -142,6 +142,10 @@ struct HelloMsg
 struct HelloAckMsg
 {
     bool resumed = false; ///< session restored from evicted state
+    /** Session restored from the daemon's shared warm-snapshot pool:
+     *  warmup was skipped bit-exactly, and records_received already
+     *  covers the pooled warmup prefix. */
+    bool warm = false;
     std::uint64_t instrs_advanced = 0;
     std::uint64_t windows_completed = 0;
     /** Records the daemon already holds for this tenant — the client

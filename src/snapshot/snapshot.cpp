@@ -50,9 +50,9 @@ constexpr std::size_t kPreFingerprint = sizeof(kMagic) + 4;
 
 } // namespace
 
-void
-writeSnapshotFile(const std::string& path, const std::string& fingerprint,
-                  const std::function<void(Writer&)>& body)
+std::vector<std::uint8_t>
+writeSnapshotBytes(const std::string& fingerprint,
+                   const std::function<void(Writer&)>& body)
 {
     Writer w;
     w.bytes(kMagic, sizeof(kMagic));
@@ -62,6 +62,15 @@ writeSnapshotFile(const std::string& path, const std::string& fingerprint,
     const std::uint64_t checksum =
         fnv1a(w.buffer().data(), w.buffer().size());
     w.u64(checksum);
+    return w.buffer();
+}
+
+void
+writeSnapshotFile(const std::string& path, const std::string& fingerprint,
+                  const std::function<void(Writer&)>& body)
+{
+    const std::vector<std::uint8_t> image =
+        writeSnapshotBytes(fingerprint, body);
 
     // Atomic publish: write a sibling temp file, then rename over the
     // target. Readers racing a writer see either the old complete file
@@ -71,8 +80,8 @@ writeSnapshotFile(const std::string& path, const std::string& fingerprint,
         std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
         if (!f)
             throw IoError("cannot create snapshot file: " + tmp);
-        f.write(reinterpret_cast<const char*>(w.buffer().data()),
-                static_cast<std::streamsize>(w.buffer().size()));
+        f.write(reinterpret_cast<const char*>(image.data()),
+                static_cast<std::streamsize>(image.size()));
         f.flush();
         if (!f)
             throw IoError("error writing snapshot file: " + tmp);
@@ -87,8 +96,17 @@ SnapshotFile
 readSnapshotFile(const std::string& path,
                  const std::string& expected_fingerprint)
 {
+    return readSnapshotBytes(readAll(path), expected_fingerprint, path);
+}
+
+SnapshotFile
+readSnapshotBytes(std::vector<std::uint8_t> bytes,
+                  const std::string& expected_fingerprint,
+                  const std::string& label)
+{
+    const std::string& path = label; // diagnostics name the source
     SnapshotFile sf;
-    sf.bytes = readAll(path);
+    sf.bytes = std::move(bytes);
 
     // 2. Minimum size + magic. The smallest valid file is header +
     //    empty fingerprint + checksum.

@@ -49,6 +49,18 @@ void writeSnapshotFile(const std::string& path,
                        const std::string& fingerprint,
                        const std::function<void(Writer&)>& body);
 
+/**
+ * Serialize a snapshot into memory: the exact byte sequence
+ * writeSnapshotFile() would put on disk (header + fingerprint + body
+ * sections + trailing checksum), returned instead of written. The
+ * daemon-side warm-snapshot pool (src/service/warm_pool.hpp) holds
+ * these images so identical specs skip warmup without touching the
+ * filesystem.
+ */
+std::vector<std::uint8_t>
+writeSnapshotBytes(const std::string& fingerprint,
+                   const std::function<void(Writer&)>& body);
+
 /** A loaded, validated snapshot file. */
 struct SnapshotFile
 {
@@ -77,6 +89,14 @@ struct SnapshotFile
  */
 SnapshotFile readSnapshotFile(const std::string& path,
                               const std::string& expected_fingerprint);
+
+/** Validate an in-memory snapshot image (same checks and typed errors
+ *  as readSnapshotFile, diagnostics labelled @p label instead of a
+ *  path). Takes ownership of @p bytes — SnapshotFile keeps them alive
+ *  for its body() Reader. */
+SnapshotFile readSnapshotBytes(std::vector<std::uint8_t> bytes,
+                               const std::string& expected_fingerprint,
+                               const std::string& label = "<memory>");
 
 /**
  * Field-wise diff of two "key=value;" fingerprints, e.g.

@@ -9,6 +9,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/metrics.hpp"
+#include "harness/perf.hpp"
 #include "harness/sweep.hpp"
 #include "sim/prefetcher_registry.hpp"
 
@@ -57,6 +58,33 @@ TEST(Metrics, AccuracyDefaultsToOneWithoutPrefetches)
 {
     sim::RunResult r;
     EXPECT_DOUBLE_EQ(r.accuracy(), 1.0);
+}
+
+// ---------------------------------------------------------------------- perf
+
+TEST(Perf, PercentileSortedNearestRank)
+{
+    // Nearest-rank definition: smallest element whose rank covers
+    // p percent of the sample count. serve_client's p50/p95/p99
+    // latency block sorts once and calls this on the shared vector.
+    const std::vector<double> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 10), 1.0);  // ceil(1.0)=1
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 50), 5.0);  // ceil(5.0)=5
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 51), 6.0);  // ceil(5.1)=6
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 95), 10.0); // ceil(9.5)=10
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 99), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 100), 10.0);
+
+    EXPECT_DOUBLE_EQ(percentileSorted({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({42.0}, 0), 42.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({42.0}, 100), 42.0);
+    // Out-of-range p clamps instead of indexing out of bounds.
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, -5), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(ten, 250), 10.0);
+
+    // percentile() (the sorting wrapper) agrees on unsorted input.
+    EXPECT_DOUBLE_EQ(percentile({9, 1, 5, 3, 7}, 50), 5.0);
 }
 
 // -------------------------------------------------------------------- runner

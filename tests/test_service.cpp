@@ -16,6 +16,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -28,14 +29,19 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "harness/runner.hpp"
 #include "harness/session.hpp"
 #include "harness/timeseries.hpp"
 #include "service/client.hpp"
+#include "service/event_loop.hpp"
 #include "service/server.hpp"
 #include "service/stream_workload.hpp"
+#include "service/warm_pool.hpp"
 #include "service/wire.hpp"
 #include "snapshot/codec.hpp"
 #include "workloads/suites.hpp"
@@ -272,12 +278,14 @@ TEST_F(ServiceTest, WireHelloRoundTrip)
 
     HelloAckMsg a;
     a.resumed = true;
+    a.warm = true;
     a.instrs_advanced = 4000;
     a.windows_completed = 2;
     a.records_received = 5524;
     a.records_consumed = 4100;
     const HelloAckMsg ga = decodeHelloAck(encodeHelloAck(a));
     EXPECT_EQ(ga.resumed, a.resumed);
+    EXPECT_EQ(ga.warm, a.warm);
     EXPECT_EQ(ga.instrs_advanced, a.instrs_advanced);
     EXPECT_EQ(ga.windows_completed, a.windows_completed);
     EXPECT_EQ(ga.records_received, a.records_received);
@@ -1073,6 +1081,404 @@ TEST_F(ServiceTest, StatsEndpointAggregatesAcrossTenants)
     EXPECT_LE(s.records_received, records.size());
     EXPECT_GT(s.records_received, 0u);
     EXPECT_GE(s.connections_accepted, 2u);
+    EXPECT_EQ(server.stop(), 0);
+}
+
+// ------------------------------------------------- event-loop backends
+
+namespace {
+
+/** One spec served end to end under @p opt; asserts bit-exactness
+ *  against the offline run and that the stats document names the
+ *  expected readiness backend. */
+void
+expectBackendServesBitExact(ServeOptions opt, const char* backend)
+{
+    opt.io = parseIoBackend(backend);
+    ServeServer server(opt);
+    server.start();
+    constexpr std::uint64_t kWindow = 2000;
+    const auto spec = makeSpec("470.lbm-164B", "pythia");
+    const auto records = captureRecords(spec);
+    const OfflineRun off = runOffline(spec, kWindow);
+
+    ServeClient client(server.boundAddress());
+    client.open(std::string("io-") + backend, spec, kWindow);
+    const auto progress = client.streamRun(records);
+    ASSERT_TRUE(progress.final_result.has_value()) << backend;
+    EXPECT_EQ(resultBits(*progress.final_result),
+              resultBits(off.final_result))
+        << backend;
+    expectSeriesEqual(progress.series.samples(), off.series.samples(),
+                      std::string("io=") + backend);
+
+    ServeClient probe(server.boundAddress());
+    const std::string json = probe.stats();
+    EXPECT_NE(json.find(std::string("\"io_backend\": \"") + backend +
+                        "\""),
+              std::string::npos)
+        << json;
+    EXPECT_EQ(server.stop(), 0);
+}
+
+} // namespace
+
+TEST_F(ServiceTest, PollBackendServesBitExact)
+{
+    expectBackendServesBitExact(baseOptions(), "poll");
+}
+
+#ifdef __linux__
+TEST_F(ServiceTest, EpollBackendServesBitExact)
+{
+    expectBackendServesBitExact(baseOptions(), "epoll");
+}
+#endif
+
+TEST_F(ServiceTest, ParseIoBackendRejectsUnknownNames)
+{
+    EXPECT_EQ(parseIoBackend("auto"), IoBackend::kAuto);
+    EXPECT_EQ(parseIoBackend("poll"), IoBackend::kPoll);
+    EXPECT_EQ(parseIoBackend("epoll"), IoBackend::kEpoll);
+    EXPECT_THROW(parseIoBackend("kqueue"), ServeError);
+    EXPECT_THROW(parseIoBackend(""), ServeError);
+}
+
+// ---------------------------------------------------------- outbox ring
+
+TEST_F(ServiceTest, OutboxRingGatherResumesFromPartialOffset)
+{
+    // Frames small enough that a 7-byte consume step lands inside
+    // headers as well as payloads — every partial-write resume point
+    // the flush path can hit.
+    OutboxRing ring;
+    std::vector<std::uint8_t> expected; // exact wire stream
+    for (std::size_t f = 0; f < 64; ++f) {
+        std::vector<std::uint8_t> payload(f % 6); // 0..5 bytes
+        for (std::size_t i = 0; i < payload.size(); ++i)
+            payload[i] = static_cast<std::uint8_t>(f * 31 + i);
+        const auto len = static_cast<std::uint32_t>(payload.size());
+        for (int b = 0; b < 4; ++b)
+            expected.push_back(
+                static_cast<std::uint8_t>(len >> (8 * b)));
+        expected.insert(expected.end(), payload.begin(), payload.end());
+        ring.push(std::move(payload));
+    }
+    ASSERT_EQ(ring.bytes(), expected.size());
+    ASSERT_EQ(ring.frames(), 64u);
+
+    std::size_t off = 0;
+    while (!ring.empty()) {
+        struct iovec iov[4];
+        const std::size_t n = ring.gather(iov, 4);
+        ASSERT_GT(n, 0u);
+        std::vector<std::uint8_t> flat;
+        for (std::size_t i = 0; i < n; ++i)
+            flat.insert(flat.end(),
+                        static_cast<const std::uint8_t*>(iov[i].iov_base),
+                        static_cast<const std::uint8_t*>(iov[i].iov_base) +
+                            iov[i].iov_len);
+        ASSERT_LE(flat.size(), expected.size() - off);
+        EXPECT_TRUE(std::equal(flat.begin(), flat.end(),
+                               expected.begin() + off))
+            << "gather diverges from the wire stream at offset " << off;
+        const std::size_t step = std::min<std::size_t>(7, ring.bytes());
+        ring.consume(step);
+        off += step;
+        EXPECT_EQ(ring.bytes(), expected.size() - off);
+    }
+    EXPECT_EQ(off, expected.size());
+    EXPECT_EQ(ring.frames(), 0u);
+}
+
+TEST_F(ServiceTest, OutboxRingShortWritesPreserveFramesAndByteCount)
+{
+    // Socket-pair harness from the issue: shrink SO_SNDBUF so
+    // flushOutbox() hits EAGAIN/short-write repeatedly, then assert
+    // the receiver sees the exact framed byte stream and that bytes()
+    // dropped by precisely what the kernel accepted each call — the
+    // accounting max_outbox_bytes backpressure relies on.
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    int snd = 4096;
+    ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &snd, sizeof snd);
+    const int flags = ::fcntl(sv[0], F_GETFL, 0);
+    ASSERT_EQ(::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK), 0);
+
+    OutboxRing ring;
+    std::vector<std::uint8_t> expected;
+    for (std::size_t f = 0; f < 512; ++f) {
+        std::vector<std::uint8_t> payload(1 + (f * 37) % 900);
+        for (std::size_t i = 0; i < payload.size(); ++i)
+            payload[i] = static_cast<std::uint8_t>(f + i);
+        const auto len = static_cast<std::uint32_t>(payload.size());
+        for (int b = 0; b < 4; ++b)
+            expected.push_back(
+                static_cast<std::uint8_t>(len >> (8 * b)));
+        expected.insert(expected.end(), payload.begin(), payload.end());
+        ring.push(std::move(payload));
+    }
+    ASSERT_EQ(ring.bytes(), expected.size());
+
+    std::vector<std::uint8_t> received;
+    auto drain = [&] {
+        std::uint8_t buf[8192];
+        ssize_t n;
+        while ((n = ::recv(sv[1], buf, sizeof buf, MSG_DONTWAIT)) > 0)
+            received.insert(received.end(), buf, buf + n);
+    };
+
+    bool blocked = false;
+    std::size_t written = 0;
+    while (!ring.empty()) {
+        const std::size_t before = ring.bytes();
+        const FlushResult r = flushOutbox(sv[0], ring);
+        ASSERT_NE(r, FlushResult::kDead);
+        written += before - ring.bytes();
+        if (r == FlushResult::kBlocked) {
+            blocked = true;
+            drain();
+        }
+    }
+    drain();
+    ::close(sv[0]);
+    ::close(sv[1]);
+
+    EXPECT_TRUE(blocked)
+        << "SO_SNDBUF shrink never forced a short write — harness is "
+           "not exercising the partial-write path";
+    EXPECT_EQ(written, expected.size());
+    EXPECT_EQ(ring.bytes(), 0u);
+    ASSERT_EQ(received.size(), expected.size());
+    EXPECT_EQ(received, expected)
+        << "reassembled stream diverges: frame integrity lost across "
+           "partial writes";
+}
+
+// ------------------------------------------------------------ warm pool
+
+namespace {
+
+WarmPool::Snapshot
+fakeSnap(std::size_t image_bytes, std::size_t prefix_records)
+{
+    WarmPool::Snapshot s;
+    s.image = std::make_shared<const std::vector<std::uint8_t>>(
+        image_bytes, std::uint8_t{0xab});
+    s.prefix = std::make_shared<const std::vector<wl::TraceRecord>>(
+        prefix_records);
+    return s;
+}
+
+} // namespace
+
+TEST_F(ServiceTest, WarmPoolSingleFlightPublishAbandonAndLru)
+{
+    const WarmPool::Snapshot proto = fakeSnap(1024, 8);
+    const std::size_t sz = warmSnapshotBytes(proto);
+    ASSERT_GT(sz, 0u);
+    WarmPool pool(2 * sz); // room for exactly two ready entries
+    ASSERT_TRUE(pool.enabled());
+
+    // Single-flight: first acquire leads, second parks, and the
+    // callback fires only when the leader settles.
+    WarmPool::Snapshot out;
+    int woken = 0;
+    ASSERT_EQ(pool.acquire("a", &out, {}), WarmPool::Role::kLeader);
+    ASSERT_EQ(pool.acquire("a", &out, [&] { ++woken; }),
+              WarmPool::Role::kWaiter);
+    EXPECT_EQ(woken, 0);
+    pool.publish("a", fakeSnap(1024, 8));
+    EXPECT_EQ(woken, 1);
+    ASSERT_EQ(pool.acquire("a", &out, {}), WarmPool::Role::kHit);
+    ASSERT_TRUE(out.image && out.prefix);
+    EXPECT_EQ(out.image->size(), 1024u);
+    EXPECT_EQ(out.prefix->size(), 8u);
+
+    // Abandon wakes waiters too, and the re-acquire takes over as the
+    // new leader instead of hitting a dead entry.
+    ASSERT_EQ(pool.acquire("b", &out, {}), WarmPool::Role::kLeader);
+    ASSERT_EQ(pool.acquire("b", &out, [&] { ++woken; }),
+              WarmPool::Role::kWaiter);
+    pool.abandon("b");
+    EXPECT_EQ(woken, 2);
+    ASSERT_EQ(pool.acquire("b", &out, {}), WarmPool::Role::kLeader);
+    pool.publish("b", fakeSnap(1024, 8));
+
+    // LRU: touch "a" so "b" is the eviction victim when "c" lands.
+    ASSERT_EQ(pool.acquire("a", &out, {}), WarmPool::Role::kHit);
+    ASSERT_EQ(pool.acquire("c", &out, {}), WarmPool::Role::kLeader);
+    pool.publish("c", fakeSnap(1024, 8));
+    EXPECT_EQ(pool.acquire("b", &out, {}), WarmPool::Role::kLeader)
+        << "LRU should have evicted b, the least recently used entry";
+    pool.abandon("b");
+    EXPECT_EQ(pool.acquire("a", &out, {}), WarmPool::Role::kHit);
+    EXPECT_EQ(pool.acquire("c", &out, {}), WarmPool::Role::kHit);
+
+    const auto s = pool.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.inserts, 3u);
+    EXPECT_EQ(s.waits, 2u);
+    EXPECT_LE(s.bytes, 2 * sz);
+
+    // Budget 0 disables the pool: every acquire leads, publish no-ops.
+    WarmPool off(0);
+    EXPECT_FALSE(off.enabled());
+    EXPECT_EQ(off.acquire("a", &out, {}), WarmPool::Role::kLeader);
+    off.publish("a", fakeSnap(64, 1));
+    EXPECT_EQ(off.acquire("a", &out, {}), WarmPool::Role::kLeader);
+}
+
+TEST_F(ServiceTest, WarmPoolHitRestoresBitExact)
+{
+    // Second open of an identical spec must skip warmup (warm ack,
+    // nonzero resume index) yet produce the byte-identical window
+    // series and final result — the determinism bar of DESIGN.md §12
+    // extended across warm-pool restores.
+    auto opt = baseOptions();
+    opt.warm_pool_bytes = 64u << 20;
+    ServeServer server(opt);
+    server.start();
+    const std::string addr = server.boundAddress();
+    constexpr std::uint64_t kWindow = 2000;
+    const auto spec = makeSpec("470.lbm-164B", "pythia");
+    const auto records = captureRecords(spec);
+    const OfflineRun off = runOffline(spec, kWindow);
+
+    ServeClient cold(addr);
+    const HelloAckMsg cold_ack = cold.open("warm-cold", spec, kWindow);
+    EXPECT_FALSE(cold_ack.warm);
+    EXPECT_EQ(cold_ack.records_received, 0u);
+    const auto cold_run = cold.streamRun(records);
+    ASSERT_TRUE(cold_run.final_result.has_value());
+    expectSeriesEqual(cold_run.series.samples(), off.series.samples(),
+                      "cold open");
+
+    ServeClient warm(addr);
+    const HelloAckMsg warm_ack = warm.open("warm-hit", spec, kWindow);
+    EXPECT_TRUE(warm_ack.warm) << "second identical open should hit";
+    EXPECT_GT(warm_ack.records_received, 0u)
+        << "a warm hit resumes past the pooled warmup prefix";
+    const auto warm_run =
+        warm.streamRun(records, warm_ack.records_received);
+    ASSERT_TRUE(warm_run.final_result.has_value());
+    EXPECT_EQ(resultBits(*warm_run.final_result),
+              resultBits(off.final_result));
+    expectSeriesEqual(warm_run.series.samples(), off.series.samples(),
+                      "warm-pool restore");
+    EXPECT_LT(warm_run.records_streamed, cold_run.records_streamed)
+        << "warm hit should stream fewer records (warmup skipped)";
+
+    const auto s = server.stats();
+    EXPECT_EQ(s.warm_misses, 1u);
+    EXPECT_EQ(s.warm_hits, 1u);
+    EXPECT_GT(s.warm_bytes, 0u);
+
+    ServeClient probe(addr);
+    const std::string json = probe.stats();
+    EXPECT_NE(json.find("\"warm_pool\""), std::string::npos);
+    EXPECT_NE(json.find("\"hits\": 1"), std::string::npos) << json;
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST_F(ServiceTest, WarmPoolSingleFlightWarmsOnceUnderRacingOpens)
+{
+    // Six racing opens of the same spec: exactly one leader warms,
+    // everyone else eventually restores from the pool, and every
+    // stream stays bit-exact against the offline run.
+    auto opt = baseOptions();
+    opt.warm_pool_bytes = 64u << 20;
+    ServeServer server(opt);
+    server.start();
+    const std::string addr = server.boundAddress();
+    constexpr std::uint64_t kWindow = 2000;
+    const auto spec = makeSpec("602.gcc_s-734B", "spp");
+    const auto records = captureRecords(spec);
+    const OfflineRun off = runOffline(spec, kWindow);
+
+    std::mutex fail_mu;
+    std::vector<std::string> failures;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                ServeClient client(addr);
+                const auto ack = client.open(
+                    "race-" + std::to_string(t), spec, kWindow);
+                const auto run =
+                    client.streamRun(records, ack.records_received);
+                std::string err;
+                if (!run.final_result)
+                    err = "no final result";
+                else if (resultBits(*run.final_result) !=
+                         resultBits(off.final_result))
+                    err = "final result diverges";
+                else if (run.series.size() != off.series.size())
+                    err = "window count diverges";
+                else
+                    for (std::size_t k = 0; k < off.series.size(); ++k)
+                        if (sampleBits(run.series[k]) !=
+                            sampleBits(off.series[k])) {
+                            err = "window " + std::to_string(k) +
+                                  " diverges";
+                            break;
+                        }
+                if (!err.empty()) {
+                    std::lock_guard<std::mutex> lk(fail_mu);
+                    failures.push_back("open " + std::to_string(t) +
+                                       ": " + err);
+                }
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lk(fail_mu);
+                failures.push_back("open " + std::to_string(t) +
+                                   " threw: " + e.what());
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    std::string joined;
+    for (const auto& f : failures)
+        joined += "\n  " + f;
+    EXPECT_TRUE(failures.empty()) << joined;
+
+    const auto s = server.stats();
+    EXPECT_EQ(s.warm_misses, 1u)
+        << "single-flight: exactly one open warms per fingerprint";
+    EXPECT_EQ(s.warm_hits, 5u);
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST_F(ServiceTest, WarmPoolTinyBudgetEvictsInsteadOfServing)
+{
+    // A 1-byte budget keeps the pool enabled but every publish blows
+    // the budget and is LRU-evicted immediately: both opens must warm
+    // themselves (no hit ever), results stay exact, evictions tick.
+    auto opt = baseOptions();
+    opt.warm_pool_bytes = 1;
+    ServeServer server(opt);
+    server.start();
+    const std::string addr = server.boundAddress();
+    constexpr std::uint64_t kWindow = 2000;
+    const auto spec = makeSpec("Ligra-PageRank", "pythia");
+    const auto records = captureRecords(spec);
+    const OfflineRun off = runOffline(spec, kWindow);
+
+    for (int i = 0; i < 2; ++i) {
+        ServeClient client(addr);
+        const auto ack =
+            client.open("tiny-" + std::to_string(i), spec, kWindow);
+        EXPECT_FALSE(ack.warm) << "open " << i;
+        const auto run = client.streamRun(records);
+        ASSERT_TRUE(run.final_result.has_value()) << "open " << i;
+        expectSeriesEqual(run.series.samples(), off.series.samples(),
+                          "tiny-budget open " + std::to_string(i));
+    }
+
+    const auto s = server.stats();
+    EXPECT_EQ(s.warm_hits, 0u);
+    EXPECT_EQ(s.warm_misses, 2u);
+    EXPECT_GE(s.warm_evictions, 1u);
     EXPECT_EQ(server.stop(), 0);
 }
 

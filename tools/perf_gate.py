@@ -3,7 +3,7 @@
 
 Usage: perf_gate.py [--json] <baseline.json> <current.json>
 
-Two checks, both governed by PERF_GATE_THRESHOLD (default 0.30):
+Three checks, all governed by PERF_GATE_THRESHOLD (default 0.30):
 
  1. Aggregate throughput: total.sims_per_sec must not fall more than
     the threshold below the committed baseline.
@@ -13,12 +13,20 @@ Two checks, both governed by PERF_GATE_THRESHOLD (default 0.30):
     than the threshold above the baseline. This pins individual
     kernels: a regression in, say, eq_insert can hide inside a
     passing aggregate number when another component got faster.
+ 3. Service throughput: when the baseline carries a "service" block
+    (serve_client's BENCH_service.json extension, DESIGN.md §12.5),
+    service.streams_per_sec must not fall more than the threshold
+    below the baseline — the daemon's scale-out number (event loop +
+    vectored writes + warm pool) gets the same floor machinery as the
+    hot-path components.
 
 The component sets must agree. A component present in the current
 artifact but absent from the committed baseline fails with an explicit
 "baseline is stale, refresh it" message (never a KeyError); a component
 that disappeared from the current artifact fails too, because a renamed
-or dropped kernel would otherwise silently leave the gate.
+or dropped kernel would otherwise silently leave the gate. The same
+staleness rule applies to the "service" block: present on one side
+only is a failure, not a skip.
 
 Success output names the committed baseline artifact and echoes every
 component's baseline/current ns_per_op, so a green CI log still shows
@@ -79,6 +87,24 @@ def components(doc, path):
     return out
 
 
+def service_streams(doc, path):
+    """service.streams_per_sec, or None when the artifact has no
+    "service" block (non-serve_client benches)."""
+    service = doc.get("service")
+    if service is None:
+        return None
+    if not isinstance(service, dict):
+        sys.exit(f"perf_gate: {path}: \"service\" is not an object")
+    try:
+        value = float(service["streams_per_sec"])
+    except (KeyError, TypeError, ValueError):
+        sys.exit(f"perf_gate: {path}: missing service.streams_per_sec")
+    if value <= 0:
+        sys.exit(f"perf_gate: {path}: non-positive streams_per_sec "
+                 f"{value}")
+    return value
+
+
 def main(argv):
     args = list(argv[1:])
     emit_json = "--json" in args
@@ -114,6 +140,39 @@ def main(argv):
         failures.append(
             f"total.sims_per_sec regressed: {current:.2f} < floor "
             f"{floor:.2f}")
+
+    # -- service streams/sec --------------------------------------------
+    base_svc = service_streams(base_doc, base_path)
+    cur_svc = service_streams(cur_doc, cur_path)
+    svc_report = None
+    if base_svc is None and cur_svc is not None:
+        failures.append(
+            f"current artifact carries a \"service\" block but the "
+            f"committed baseline {base_path} does not — the baseline "
+            f"is stale; re-run serve_client and commit the refreshed "
+            f"JSON")
+    elif base_svc is not None and cur_svc is None:
+        failures.append(
+            f"committed baseline has a \"service\" block but the "
+            f"current artifact does not — a dropped service bench "
+            f"would silently leave the gate; update the baseline "
+            f"deliberately")
+    elif base_svc is not None:
+        svc_floor = base_svc * (1.0 - threshold)
+        svc_ok = cur_svc >= svc_floor
+        if not svc_ok:
+            failures.append(
+                f"service.streams_per_sec regressed: {cur_svc:.2f} < "
+                f"floor {svc_floor:.2f} (baseline {base_svc:.2f})")
+        svc_report = {
+            "baseline_streams_per_sec": base_svc,
+            "current_streams_per_sec": cur_svc,
+            "floor_streams_per_sec": svc_floor,
+            "pass": svc_ok,
+        }
+        say(f"perf_gate: service baseline {base_svc:.2f} streams/s, "
+            f"current {cur_svc:.2f} streams/s, floor {svc_floor:.2f} "
+            f"— {'ok' if svc_ok else 'REGRESSION'}")
 
     # -- per-component ns/op --------------------------------------------
     base_comp = components(base_doc, base_path)
@@ -166,6 +225,7 @@ def main(argv):
                     "floor_sims_per_sec": floor,
                     "pass": current >= floor,
                 },
+                "service": svc_report,
                 "components": comp_report,
                 "failures": failures,
                 "pass": not failures,
